@@ -1,0 +1,77 @@
+"""Shared configuration for the benchmark suite.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``fast``  — minutes-long smoke scale (fewest models/epochs);
+* ``small`` — default; reproduces every trend in a few minutes per bench;
+* ``full``  — all 11 models, more data and epochs (tens of minutes per
+  bench; closest to the paper's relative numbers).
+
+Each bench prints the same rows/series the paper reports, so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the tables.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import DataConfig, ModelConfig, default_trainer_config
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+if SCALE not in ("fast", "small", "full"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be fast|small|full, got {SCALE!r}")
+
+_PEMS_DATA = {
+    "fast": dict(num_nodes=6, num_days=4, stride=6),
+    "small": dict(num_nodes=10, num_days=6, stride=3),
+    "full": dict(num_nodes=16, num_days=10, stride=1),
+}
+_STAMPEDE_DATA = {
+    "fast": dict(num_days=6, stride=6),
+    "small": dict(num_days=10, stride=3),
+    "full": dict(num_days=21, stride=1),
+}
+_MODEL = {
+    "fast": dict(embed_dim=8, hidden_dim=16, num_graphs=3, partition_downsample=8),
+    "small": dict(embed_dim=16, hidden_dim=32, num_graphs=4, partition_downsample=12),
+    "full": dict(embed_dim=32, hidden_dim=64, num_graphs=4, partition_downsample=16),
+}
+_EPOCHS = {"fast": 4, "small": 10, "full": 30}
+
+#: model subsets per scale (full = the paper's entire comparison set)
+PREDICTION_MODELS = {
+    "fast": ["HA", "GCN-LSTM", "GCN-LSTM-I", "RIHGCN"],
+    "small": ["HA", "VAR", "FC-LSTM", "GCN-LSTM", "Graph WaveNet",
+              "FC-LSTM-I", "GCN-LSTM-I", "RIHGCN"],
+    "full": ["HA", "VAR", "ASTGCN", "Graph WaveNet", "FC-LSTM", "FC-GCN",
+             "GCN-LSTM", "FC-LSTM-I", "FC-GCN-I", "GCN-LSTM-I", "RIHGCN"],
+}[SCALE]
+
+
+def pems_data_config(**overrides) -> DataConfig:
+    kwargs = dict(_PEMS_DATA[SCALE])
+    kwargs.update(overrides)
+    return DataConfig(dataset="pems", **kwargs)
+
+
+def stampede_data_config(**overrides) -> DataConfig:
+    kwargs = dict(_STAMPEDE_DATA[SCALE])
+    kwargs.update(overrides)
+    return DataConfig(dataset="stampede", missing_rate=None, **kwargs)
+
+
+def model_config(**overrides) -> ModelConfig:
+    kwargs = dict(_MODEL[SCALE])
+    kwargs.update(overrides)
+    return ModelConfig(**kwargs)
+
+
+def trainer_config(**overrides):
+    kwargs = dict(max_epochs=_EPOCHS[SCALE], patience=4)
+    kwargs.update(overrides)
+    return default_trainer_config(**kwargs)
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,35 @@
+"""Figure 4: prediction/imputation error vs number of temporal graphs M.
+
+Expected shape: an interior optimum — very small M (coarse intervals)
+underfits intra-day variation; very large M brings redundant intervals and
+extra parameters. The paper finds M=8 optimal on PeMS at 40% missing; on
+the scaled-down simulator the optimum may land at a neighbouring M, but
+the curve should not be monotone in M.
+"""
+
+from bench_config import SCALE, model_config, pems_data_config, run_once, trainer_config
+
+from repro.experiments import run_fig4
+
+GRAPH_COUNTS = {"fast": [2, 8], "small": [2, 4, 8, 16], "full": [2, 4, 8, 16, 24]}[SCALE]
+
+
+def test_fig4_num_graphs(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_fig4(
+            graph_counts=GRAPH_COUNTS,
+            data_config=pems_data_config(),
+            model_config=model_config(),
+            trainer_config=trainer_config(),
+        ),
+    )
+    print()
+    print(result.render())
+    print(f"best prediction at M={result.best_prediction_m()}")
+
+    maes = [p.mae for p in result.prediction]
+    assert all(m > 0 for m in maes)
+    if len(maes) >= 3:
+        # The largest M should not be the (strict) best: redundancy costs.
+        assert min(maes) <= maes[-1] * 1.0001

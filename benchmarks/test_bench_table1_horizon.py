@@ -1,0 +1,43 @@
+"""Table I (lower): PeMS prediction MAE/RMSE vs horizon at 80% missing.
+
+Expected shape: error grows with horizon for every learned model; RIHGCN
+stays lowest across horizons.
+"""
+
+from bench_config import (
+    PREDICTION_MODELS,
+    model_config,
+    pems_data_config,
+    run_once,
+    trainer_config,
+)
+
+from repro.experiments import run_table1_horizons
+
+HORIZONS = [3, 6, 9, 12]
+
+
+def test_table1_horizon_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_table1_horizons(
+            models=PREDICTION_MODELS,
+            horizons=HORIZONS,
+            missing_rate=0.8,
+            data_config=pems_data_config(),
+            model_config=model_config(),
+            trainer_config=trainer_config(),
+        ),
+    )
+    print()
+    print(result.render("Table I (lower): PeMS, 80% missing, by horizon"))
+
+    # Error is (weakly) increasing with horizon for the learned models.
+    for name, cells in result.cells.items():
+        maes = [c.mae for c in cells]
+        assert maes[-1] >= maes[0] * 0.9, (
+            f"{name}: 60-min error unexpectedly far below 15-min error"
+        )
+    # RIHGCN near-best at the full horizon.
+    best = min(cells[-1].mae for cells in result.cells.values())
+    assert result.cells["RIHGCN"][-1].mae <= best * 1.1

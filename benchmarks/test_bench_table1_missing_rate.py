@@ -1,0 +1,52 @@
+"""Table I (upper): PeMS prediction MAE/RMSE vs missing rate.
+
+Regenerates the paper's upper Table I rows. Expected shape (not absolute
+values): RIHGCN lowest error everywhere; imputation-enhanced variants beat
+their mean-filled counterparts; gaps widen as the missing rate grows; VAR
+degrades fastest.
+"""
+
+from bench_config import (
+    PREDICTION_MODELS,
+    SCALE,
+    model_config,
+    pems_data_config,
+    run_once,
+    trainer_config,
+)
+
+from repro.experiments import run_table1_missing_rates
+
+MISSING_RATES = {"fast": [0.4, 0.8], "small": [0.2, 0.4, 0.6, 0.8],
+                 "full": [0.2, 0.4, 0.6, 0.8]}[SCALE]
+
+
+def test_table1_missing_rate_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_table1_missing_rates(
+            models=PREDICTION_MODELS,
+            missing_rates=MISSING_RATES,
+            data_config=pems_data_config(),
+            model_config=model_config(),
+            trainer_config=trainer_config(),
+        ),
+    )
+    print()
+    print(result.render("Table I (upper): PeMS, 60-min horizon, by missing rate"))
+
+    # Shape assertions from the paper.
+    last = len(MISSING_RATES) - 1
+    rihgcn = result.cells["RIHGCN"]
+    for name, cells in result.cells.items():
+        if name == "RIHGCN":
+            continue
+        assert rihgcn[last].mae <= cells[last].mae * 1.05, (
+            f"RIHGCN should be (near-)best at the highest missing rate; "
+            f"beaten by {name}"
+        )
+    if "GCN-LSTM" in result.cells and "GCN-LSTM-I" in result.cells:
+        assert (
+            result.cells["GCN-LSTM-I"][last].mae
+            <= result.cells["GCN-LSTM"][last].mae
+        ), "imputation-enhanced variant should win at 80% missing"

@@ -1,0 +1,83 @@
+"""Figure-3-style analysis: geographic vs temporal graphs disagree.
+
+The paper motivates heterogeneous graphs by showing five PeMS segments
+where a geographically distant pair shares daily patterns (strongly linked
+in temporal graphs) while a geographically close pair does not. Our
+simulator plants exactly this structure via peak-profile clusters; this
+example recovers it:
+
+1. partition the daily timeline by solving Eq. (2) with DTW distances;
+2. build one temporal graph per interval + the geographic graph (Eq. 8);
+3. print the adjacency matrices and check cluster pairs against
+   geographic pairs.
+
+Usage::
+
+    python examples/heterogeneous_graphs.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_pems_dataset
+from repro.graphs import PartitionConfig, build_heterogeneous_graphs
+
+
+def print_matrix(title: str, matrix: np.ndarray) -> None:
+    print(f"\n{title}")
+    n = matrix.shape[0]
+    header = "     " + "".join(f"{j:>6d}" for j in range(n))
+    print(header)
+    for i in range(n):
+        row = "".join(f"{matrix[i, j]:6.2f}" for j in range(n))
+        print(f"  {i:2d} {row}")
+
+
+def main() -> None:
+    dataset = make_pems_dataset(num_nodes=5, num_days=7, seed=4)
+    clusters = dataset.metadata["clusters"]
+    print("node peak-profile clusters (hidden ground truth of the simulator):")
+    for i, c in enumerate(clusters):
+        print(f"  node {i}: {c}")
+
+    graphs = build_heterogeneous_graphs(
+        dataset.data, dataset.mask, dataset.network.distances,
+        steps_per_day=dataset.steps_per_day, num_intervals=4,
+        partition_config=PartitionConfig(num_intervals=4, downsample_to=12),
+    )
+
+    spd = dataset.steps_per_day
+    print("\nEq. (2) timeline partition (DTW-optimized):")
+    for k, (start, end) in enumerate(graphs.partition.intervals):
+        print(f"  interval {k}: {start * 24 / spd:5.1f}h - {end * 24 / spd:5.1f}h")
+
+    print_matrix("geographic graph (Eq. 8 over road distances):", graphs.geographic)
+    for k, adj in enumerate(graphs.temporal):
+        start, end = graphs.partition.intervals[k]
+        print_matrix(
+            f"temporal graph {k} ({start * 24 / spd:.0f}h-{end * 24 / spd:.0f}h, "
+            "DTW over historical averages):",
+            adj,
+        )
+
+    # Quantify the Fig. 3 claim: same-cluster pairs should be more strongly
+    # connected in temporal graphs than cross-cluster pairs, regardless of
+    # geographic distance.
+    n = len(clusters)
+    same, cross = [], []
+    mean_temporal = np.mean(graphs.temporal, axis=0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            (same if clusters[i] == clusters[j] else cross).append(
+                mean_temporal[i, j]
+            )
+    if same and cross:
+        print(
+            f"\nmean temporal edge weight: same-cluster={np.mean(same):.3f} "
+            f"vs cross-cluster={np.mean(cross):.3f}"
+        )
+        print("(same-cluster pairs link up in temporal graphs even when far "
+              "apart geographically — the paper's Fig. 3 phenomenon)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Roving-sensor scenario: forecasting travel times from shuttle traversals.
+
+Recreates the paper's Stampede setting: 15 shuttles roam a small city
+network; a road segment's travel time is only observed in the 5-minute
+bins when some shuttle traversed it. The result is ~85-90% natural
+missingness with strong structure (nothing at night, more coverage at
+peak service). We inspect the observation process, then train RIHGCN and a
+mean-filled GCN-LSTM on it.
+
+Usage::
+
+    python examples/stampede_roving.py
+"""
+
+import numpy as np
+
+from repro.datasets import StampedeConfig, make_stampede_dataset
+from repro.experiments import (
+    DataConfig,
+    ModelConfig,
+    default_trainer_config,
+    prepare_context,
+    run_model,
+)
+
+
+def describe_observation_process() -> None:
+    dataset = make_stampede_dataset(StampedeConfig(num_days=10, seed=0))
+    print(f"dataset: {dataset.name}")
+    print(f"segments: {dataset.num_nodes}, bins: {dataset.num_steps}")
+    print(f"natural missing rate: {dataset.missing_rate:.1%}")
+
+    # Coverage by hour of day: shuttles only run 6:00-22:00.
+    hours = dataset.steps_of_day * 24 // dataset.steps_per_day
+    coverage = np.zeros(24)
+    for h in range(24):
+        sel = hours == h
+        coverage[h] = dataset.mask[sel].mean()
+    bar_scale = coverage.max() or 1.0
+    print("\nobservation coverage by hour (shuttle service window):")
+    for h in range(24):
+        bar = "#" * int(40 * coverage[h] / bar_scale)
+        print(f"  {h:02d}:00 {coverage[h]:6.1%} {bar}")
+
+    observed = dataset.mask[:, :, 0] > 0
+    tts = dataset.data[:, :, 0][observed]
+    print(f"\nobserved travel times: median={np.median(tts):.0f}s "
+          f"p90={np.percentile(tts, 90):.0f}s")
+
+
+def train_and_compare() -> None:
+    data_cfg = DataConfig(
+        dataset="stampede", num_days=10, stride=3, missing_rate=None,
+    )
+    model_cfg = ModelConfig(embed_dim=16, hidden_dim=32, num_graphs=4)
+    trainer_cfg = default_trainer_config(max_epochs=8)
+    ctx = prepare_context(data_cfg, model_cfg)
+
+    print("\ntraining on the roving data (this takes a few minutes)...")
+    for name in ("HA", "GCN-LSTM", "RIHGCN"):
+        result = run_model(name, ctx, trainer_cfg, horizons=[12])
+        pair = result.metric_at(12)
+        print(f"  {name:10s} 60-min MAE={pair.mae:8.2f}s RMSE={pair.rmse:8.2f}s "
+              f"({result.train_seconds:.0f}s)")
+    print(
+        "\nPer Table II, margins on roving data are small (the missing rate"
+        "\nflattens everyone toward climatology) but the imputation-based"
+        "\nmodel should sit at the top."
+    )
+
+
+if __name__ == "__main__":
+    describe_observation_process()
+    train_and_compare()

@@ -1,0 +1,41 @@
+"""RIHGCN reproduction: Heterogeneous Spatio-Temporal Graph Convolution
+Network for Traffic Forecasting with Missing Values (ICDCS 2021).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.autodiff` -- numpy-backed reverse-mode autodiff engine
+* :mod:`repro.nn` -- neural layers (Linear, LSTM, ChebConv, attention, TCN)
+* :mod:`repro.optim` -- Adam/SGD, clipping, schedulers, early stopping
+* :mod:`repro.graphs` -- Eq. 8 adjacency, Laplacians, timeline partition,
+  heterogeneous graph sets
+* :mod:`repro.distances` -- DTW / ERP / LCSS series distances
+* :mod:`repro.datasets` -- synthetic PeMS-like and Stampede-like data,
+  missingness injection, windowing
+* :mod:`repro.models` -- RIHGCN, its ablations, and every baseline
+* :mod:`repro.imputation` -- classical imputers (Last/KNN/MF/TD/...)
+* :mod:`repro.training` -- trainer and metrics
+* :mod:`repro.experiments` -- one entry point per paper table/figure
+"""
+
+from .autodiff import Tensor, no_grad
+from .datasets import TrafficDataset, make_pems_dataset, make_stampede_dataset
+from .graphs import HeterogeneousGraphSet, build_heterogeneous_graphs
+from .models import RecurrentImputationForecaster, rihgcn
+from .training import Trainer, TrainerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "TrafficDataset",
+    "make_pems_dataset",
+    "make_stampede_dataset",
+    "HeterogeneousGraphSet",
+    "build_heterogeneous_graphs",
+    "RecurrentImputationForecaster",
+    "rihgcn",
+    "Trainer",
+    "TrainerConfig",
+    "__version__",
+]

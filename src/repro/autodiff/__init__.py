@@ -1,0 +1,58 @@
+"""Reverse-mode autodiff substrate (numpy-backed)."""
+
+from .functional import (
+    dropout_mask,
+    elu,
+    huber,
+    leaky_relu,
+    log_softmax,
+    mae,
+    masked_mae,
+    masked_mse,
+    mse,
+    one_hot,
+    softmax,
+    softplus,
+)
+from .gradcheck import gradcheck, numerical_gradient
+from .sparse import sparse_matmul
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    enable_grad,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "leaky_relu",
+    "elu",
+    "softplus",
+    "dropout_mask",
+    "one_hot",
+    "mse",
+    "mae",
+    "huber",
+    "masked_mae",
+    "masked_mse",
+    "gradcheck",
+    "sparse_matmul",
+    "numerical_gradient",
+]

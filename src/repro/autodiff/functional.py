@@ -1,0 +1,101 @@
+"""Composite differentiable functions built on the primitive Tensor ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concat, maximum, stack, where
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "leaky_relu",
+    "elu",
+    "softplus",
+    "dropout_mask",
+    "one_hot",
+    "mse",
+    "mae",
+    "huber",
+    "masked_mae",
+    "masked_mse",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectifier: ``x`` where positive, ``slope * x`` elsewhere."""
+    return where(x.data > 0, x, x * negative_slope)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    return where(x.data > 0, x, (x.exp() - 1.0) * alpha)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Smooth approximation of relu: ``log(1 + exp(x))`` (stabilized)."""
+    return maximum(x, 0.0) + ((-x.abs()).exp() + 1.0).log()
+
+
+def dropout_mask(shape: tuple[int, ...], p: float, rng: np.random.Generator) -> np.ndarray:
+    """Inverted-dropout mask: zeros with prob ``p``, survivors scaled by 1/(1-p)."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = rng.random(shape) >= p
+    return keep.astype(np.float64) / (1.0 - p)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of an integer index array."""
+    out = np.zeros(indices.shape + (num_classes,))
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def mse(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    diff = pred - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def mae(pred: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    return (pred - as_tensor(target)).abs().mean()
+
+
+def huber(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    diff = (pred - as_tensor(target)).abs()
+    quadratic = diff * diff * 0.5
+    linear = diff * delta - 0.5 * delta * delta
+    return where(diff.data <= delta, quadratic, linear).mean()
+
+
+def masked_mae(pred: Tensor, target, mask) -> Tensor:
+    """MAE over entries where ``mask`` is 1; safe when the mask is empty."""
+    mask_t = as_tensor(mask)
+    diff = (pred - as_tensor(target)).abs() * mask_t
+    denom = float(np.maximum(mask_t.data.sum(), 1.0))
+    return diff.sum() / denom
+
+
+def masked_mse(pred: Tensor, target, mask) -> Tensor:
+    """MSE over entries where ``mask`` is 1; safe when the mask is empty."""
+    mask_t = as_tensor(mask)
+    diff = pred - as_tensor(target)
+    sq = diff * diff * mask_t
+    denom = float(np.maximum(mask_t.data.sum(), 1.0))
+    return sq.sum() / denom

@@ -1,0 +1,81 @@
+"""Numerical gradient checking for the autodiff engine.
+
+Used by the test suite to verify every primitive op and by developers when
+adding new ops: compares analytic gradients against central finite
+differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function of the input tensors returning a Tensor (any shape; the
+        scalar objective is its elementwise sum).
+    inputs:
+        Input tensors; only ``inputs[index]`` is perturbed.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Finite-difference step size.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Verify analytic grads of ``fn`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` on success so it can be used inside ``assert gradcheck(...)``.
+    """
+    for inp in inputs:
+        inp.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, inp in enumerate(inputs):
+        if not inp.requires_grad:
+            continue
+        analytic = inp.grad if inp.grad is not None else np.zeros_like(inp.data)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            diff = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs diff {diff:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,52 @@
+"""Sparse-dense products with autodiff (large road networks).
+
+Real deployments have hundreds to thousands of sensors; the Eq. 8
+adjacency is then very sparse and dense ``(N, N) @ (B, N, D)`` products
+dominate training time and memory. :func:`sparse_matmul` performs the
+propagation with a *constant* ``scipy.sparse`` matrix while staying inside
+the autodiff graph (the backward pass applies the transpose).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from .tensor import Tensor
+
+__all__ = ["sparse_matmul"]
+
+
+def _apply(matrix: sp.spmatrix, data: np.ndarray) -> np.ndarray:
+    """``matrix @ data`` over axis -2 of ``data`` (any leading batch axes)."""
+    n = matrix.shape[1]
+    if data.shape[-2] != n:
+        raise ValueError(
+            f"matrix expects {n} rows on axis -2, got shape {data.shape}"
+        )
+    if data.ndim == 2:
+        return np.asarray(matrix @ data)
+    moved = np.moveaxis(data, -2, 0)  # (N, ..., D)
+    flat = moved.reshape(n, -1)
+    out_flat = np.asarray(matrix @ flat)
+    out = out_flat.reshape((matrix.shape[0],) + moved.shape[1:])
+    return np.moveaxis(out, 0, -2)
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Differentiable ``matrix @ x`` where ``matrix`` is a constant sparse
+    matrix applied to axis ``-2`` of ``x``.
+
+    Gradient: ``dL/dx = matrixᵀ @ dL/dout`` (the matrix itself is not a
+    trainable parameter — graph structure is fixed during training).
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(f"expected a scipy.sparse matrix, got {type(matrix)}")
+    csr = matrix.tocsr()
+    data = _apply(csr, x.data)
+    transpose = csr.T.tocsr()
+
+    def backward(grad, t=transpose):
+        return (_apply(t, grad),)
+
+    return Tensor._make(data, (x,), backward, "sparse_matmul")

@@ -1,0 +1,673 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the lowest-level substrate of the reproduction: the paper's
+model is trained with backpropagation through a recurrent imputation path
+(imputed values are *trainable nodes* of the computation graph), so we need a
+real autodiff engine, not a collection of hand-derived gradients.
+
+The design follows the classic tape-free dynamic graph approach:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` and, when produced by a
+  differentiable operation, records its parent tensors together with a
+  closure that maps the output gradient to per-parent gradients.
+* :meth:`Tensor.backward` topologically sorts the reachable graph and
+  accumulates gradients into ``.grad`` of every leaf with
+  ``requires_grad=True``.
+
+All operations support full numpy broadcasting; gradients are automatically
+"unbroadcast" (summed over broadcast axes) on the way back.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Used during evaluation/prediction so that no backward closures are
+    retained and memory stays flat.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that (re-)enables graph construction."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were added or broadcast to match ``shape``.
+
+    When an operand of shape ``shape`` was broadcast up to the shape of
+    ``grad`` during the forward pass, the chain rule requires summing the
+    incoming gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were prepended by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes where the original dimension was 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray, scalar, nested list) to a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts. Stored as ``float64`` unless the
+        array already has a float dtype.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` for this
+        tensor when :meth:`backward` is called on a downstream result.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+
+    # Make numpy defer binary operators (ndarray + Tensor, ndarray @ Tensor)
+    # to this class's reflected methods instead of elementwise-iterating.
+    __array_priority__ = 1000
+
+    def __init__(self, data, requires_grad: bool = False):
+        arr = np.asarray(data)
+        if arr.dtype.kind not in "fc":
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], Sequence[np.ndarray | None]],
+        op: str,
+    ) -> "Tensor":
+        """Create the result of a differentiable op, wiring the graph."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+            out._op = op
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor. Defaults to
+            ones (only sensible for scalar outputs, which is the common case
+            for losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order via iterative DFS (recursion would overflow on
+        # long recurrent chains such as the bidirectional imputation loop).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+        # Free references so intermediate buffers can be collected.
+        for node in topo:
+            if node is not self:
+                node._parents = ()
+                node._backward = None
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(g, a=self, b=other):
+            return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
+
+        return Tensor._make(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data - other.data
+
+        def backward(g, a=self, b=other):
+            return (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
+
+        return Tensor._make(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+
+        def backward(g, a=self, b=other):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+
+        def backward(g, a=self, b=other):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(g, a=self, n=exponent):
+            return (g * n * a.data ** (n - 1),)
+
+        return Tensor._make(data, (self,), backward, "pow")
+
+    # Comparison operators return plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g, out=data):
+            return (g * out,)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(g, a=self):
+            return (g / a.data,)
+
+        return Tensor._make(np.log(self.data), (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(g, out=data):
+            return (g / (2.0 * out),)
+
+        return Tensor._make(data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g, out=data):
+            return (g * (1.0 - out * out),)
+
+        return Tensor._make(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, None))),
+            np.exp(np.clip(self.data, None, 500))
+            / (1.0 + np.exp(np.clip(self.data, None, 500))),
+        )
+
+        def backward(g, out=data):
+            return (g * out * (1.0 - out),)
+
+        return Tensor._make(data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(g, m=mask):
+            return (g * m,)
+
+        return Tensor._make(data, (self,), backward, "relu")
+
+    def __abs__(self) -> "Tensor":
+        return self.abs()
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        data = np.abs(self.data)
+
+        def backward(g, s=sign):
+            return (g * s,)
+
+        return Tensor._make(data, (self,), backward, "abs")
+
+    def clip(self, low: float | None, high: float | None) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+
+        def backward(g, m=mask):
+            return (g * m,)
+
+        return Tensor._make(data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g, a=self, ax=axis, kd=keepdims):
+            if ax is None:
+                return (np.broadcast_to(g, a.shape).copy(),)
+            g_expanded = g if kd else np.expand_dims(g, ax)
+            return (np.broadcast_to(g_expanded, a.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+
+        def backward(g, a=self, ax=axis, kd=keepdims, n=count):
+            if ax is None:
+                return (np.broadcast_to(g / n, a.shape).copy(),)
+            g_expanded = g if kd else np.expand_dims(g, ax)
+            return (np.broadcast_to(g_expanded / n, a.shape).copy(),)
+
+        return Tensor._make(data, (self,), backward, "mean")
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g, a=self, ax=axis, kd=keepdims, out=data):
+            if ax is None:
+                mask = (a.data == out).astype(a.data.dtype)
+                mask /= mask.sum()
+                return (mask * g,)
+            out_expanded = out if kd else np.expand_dims(out, ax)
+            g_expanded = g if kd else np.expand_dims(g, ax)
+            mask = (a.data == out_expanded).astype(a.data.dtype)
+            mask /= mask.sum(axis=ax, keepdims=True)
+            return (mask * g_expanded,)
+
+        return Tensor._make(data, (self,), backward, "max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return (-((-self).max(axis=axis, keepdims=keepdims)))
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = np.matmul(self.data, other.data)
+
+        def backward(g, a=self, b=other):
+            a_data, b_data = a.data, b.data
+            # Promote vectors so the generic batched rules apply, then strip.
+            a_vec = a_data.ndim == 1
+            b_vec = b_data.ndim == 1
+            a2 = a_data[None, :] if a_vec else a_data
+            b2 = b_data[:, None] if b_vec else b_data
+            g2 = g
+            if a_vec and not b_vec:
+                g2 = np.expand_dims(g, -2)
+            elif b_vec and not a_vec:
+                g2 = np.expand_dims(g, -1)
+            elif a_vec and b_vec:
+                g2 = g.reshape((1, 1))
+            grad_a = np.matmul(g2, np.swapaxes(b2, -1, -2))
+            grad_b = np.matmul(np.swapaxes(a2, -1, -2), g2)
+            if a_vec:
+                grad_a = grad_a.reshape(a_data.shape) if grad_a.ndim <= 2 else _unbroadcast(grad_a, (1,) + a_data.shape).reshape(a_data.shape)
+            else:
+                grad_a = _unbroadcast(grad_a, a_data.shape)
+            if b_vec:
+                grad_b = grad_b.reshape(b_data.shape) if grad_b.ndim <= 2 else _unbroadcast(grad_b, b_data.shape + (1,)).reshape(b_data.shape)
+            else:
+                grad_b = _unbroadcast(grad_b, b_data.shape)
+            return (grad_a, grad_b)
+
+        return Tensor._make(data, (self, other), backward, "matmul")
+
+    __matmul__ = matmul
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return as_tensor(other).matmul(self)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(g, orig=self.data.shape):
+            return (g.reshape(orig),)
+
+        return Tensor._make(data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g, inv=inverse):
+            return (g.transpose(inv),)
+
+        return Tensor._make(data, (self,), backward, "transpose")
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def squeeze(self, axis: int) -> "Tensor":
+        data = np.squeeze(self.data, axis=axis)
+
+        def backward(g, ax=axis):
+            return (np.expand_dims(g, ax),)
+
+        return Tensor._make(data, (self,), backward, "squeeze")
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(g, ax=axis):
+            return (np.squeeze(g, axis=ax),)
+
+        return Tensor._make(data, (self,), backward, "unsqueeze")
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        data = np.broadcast_to(self.data, shape)
+
+        def backward(g, orig=self.data.shape):
+            return (_unbroadcast(g, orig),)
+
+        return Tensor._make(data.copy(), (self,), backward, "broadcast_to")
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad; ``pad_width`` follows ``numpy.pad`` conventions."""
+        data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + dim)
+            for (before, _after), dim in zip(pad_width, self.data.shape)
+        )
+
+        def backward(g, sl=slices):
+            return (g[sl],)
+
+        return Tensor._make(data, (self,), backward, "pad")
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(g, a=self, idx=index):
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, idx, g)
+            return (grad,)
+
+        return Tensor._make(data, (self,), backward, "getitem")
+
+
+# ----------------------------------------------------------------------
+# Multi-tensor free functions
+# ----------------------------------------------------------------------
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g, offs=offsets, ax=axis, n=len(tensors)):
+        grads = []
+        for i in range(n):
+            sl = [slice(None)] * g.ndim
+            sl[ax] = slice(int(offs[i]), int(offs[i + 1]))
+            grads.append(g[tuple(sl)])
+        return grads
+
+    return Tensor._make(data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g, ax=axis, n=len(tensors)):
+        return [np.take(g, i, axis=ax) for i in range(n)]
+
+    return Tensor._make(data, tuple(tensors), backward, "stack")
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable elementwise select; ``condition`` is a constant mask."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a = as_tensor(a)
+    b = as_tensor(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g, c=cond, ta=a, tb=b):
+        return (
+            _unbroadcast(np.where(c, g, 0.0), ta.shape),
+            _unbroadcast(np.where(c, 0.0, g), tb.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward, "where")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; ties send gradient to the first operand."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    take_a = a.data >= b.data
+    data = np.where(take_a, a.data, b.data)
+
+    def backward(g, m=take_a, ta=a, tb=b):
+        return (
+            _unbroadcast(np.where(m, g, 0.0), ta.shape),
+            _unbroadcast(np.where(m, 0.0, g), tb.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward, "maximum")
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; ties send gradient to the first operand."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    take_a = a.data <= b.data
+    data = np.where(take_a, a.data, b.data)
+
+    def backward(g, m=take_a, ta=a, tb=b):
+        return (
+            _unbroadcast(np.where(m, g, 0.0), ta.shape),
+            _unbroadcast(np.where(m, 0.0, g), tb.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward, "minimum")

@@ -1,0 +1,198 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage::
+
+    python -m repro.cli table1-missing --rates 0.4 0.8 --epochs 10
+    python -m repro.cli table1-horizon --missing-rate 0.8
+    python -m repro.cli table2
+    python -m repro.cli imputation --rates 0.4
+    python -m repro.cli fig4 --graphs 2 4 8
+    python -m repro.cli fig5 --lambdas 0.001 1 20
+    python -m repro.cli --scale full table1-missing   # paper-closer scale
+
+Every subcommand prints the corresponding paper table/figure rows. The
+``--scale`` flag trades fidelity for speed (fast/small/full); individual
+knobs (nodes, days, epochs, models) can override it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ALL_MODEL_NAMES,
+    DataConfig,
+    ModelConfig,
+    default_trainer_config,
+    run_fig4,
+    run_fig5,
+    run_imputation_study,
+    run_table1_horizons,
+    run_table1_missing_rates,
+    run_table2,
+)
+
+_SCALES = {
+    "fast": dict(num_nodes=6, num_days=4, stride=6, embed=8, hidden=16,
+                 graphs=3, epochs=4),
+    "small": dict(num_nodes=10, num_days=6, stride=3, embed=16, hidden=32,
+                  graphs=4, epochs=10),
+    "full": dict(num_nodes=16, num_days=10, stride=1, embed=32, hidden=64,
+                 graphs=4, epochs=30),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RIHGCN reproduction experiments"
+    )
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
+                        help="preset size/epoch budget")
+    parser.add_argument("--nodes", type=int, help="override sensor count")
+    parser.add_argument("--days", type=int, help="override day count")
+    parser.add_argument("--epochs", type=int, help="override training epochs")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_models_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--models", nargs="+", metavar="NAME", default=None,
+            help=f"model subset (default: all of {ALL_MODEL_NAMES})",
+        )
+
+    p = sub.add_parser("table1-missing", help="Table I upper: error vs missing rate")
+    p.add_argument("--rates", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8])
+    add_models_flag(p)
+
+    p = sub.add_parser("table1-horizon", help="Table I lower: error vs horizon")
+    p.add_argument("--missing-rate", type=float, default=0.8)
+    add_models_flag(p)
+
+    p = sub.add_parser("table2", help="Table II: Stampede roving sensors")
+    add_models_flag(p)
+
+    p = sub.add_parser("imputation", help="RQ2: imputation comparison")
+    p.add_argument("--rates", type=float, nargs="+", default=[0.4, 0.8])
+
+    p = sub.add_parser("fig4", help="Figure 4: number of temporal graphs")
+    p.add_argument("--graphs", type=int, nargs="+", default=[2, 4, 8, 16])
+
+    p = sub.add_parser("fig5", help="Figure 5: imputation-loss weight")
+    p.add_argument("--lambdas", type=float, nargs="+",
+                   default=[0.0001, 0.01, 1.0, 5.0, 20.0])
+
+    p = sub.add_parser("report", help="run everything, emit a Markdown report")
+    p.add_argument("--output", type=str, default="-",
+                   help="output file path, or '-' for stdout")
+    p.add_argument("--skip", nargs="+", default=[],
+                   choices=["table1-missing", "table1-horizon", "table2",
+                            "imputation", "fig4", "fig5"],
+                   help="experiments to leave out")
+    add_models_flag(p)
+    return parser
+
+
+def _configs(args) -> tuple[DataConfig, ModelConfig, object]:
+    preset = _SCALES[args.scale]
+    data = DataConfig(
+        dataset="pems",
+        num_nodes=args.nodes or preset["num_nodes"],
+        num_days=args.days or preset["num_days"],
+        stride=preset["stride"],
+        seed=args.seed,
+    )
+    model = ModelConfig(
+        embed_dim=preset["embed"],
+        hidden_dim=preset["hidden"],
+        num_graphs=preset["graphs"],
+        seed=args.seed,
+    )
+    trainer = default_trainer_config(max_epochs=args.epochs or preset["epochs"])
+    return data, model, trainer
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    data_cfg, model_cfg, trainer_cfg = _configs(args)
+    models = getattr(args, "models", None)
+
+    if args.command == "table1-missing":
+        result = run_table1_missing_rates(
+            models=models, missing_rates=args.rates, data_config=data_cfg,
+            model_config=model_cfg, trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render("Table I (upper): PeMS by missing rate"))
+    elif args.command == "table1-horizon":
+        result = run_table1_horizons(
+            models=models, missing_rate=args.missing_rate,
+            data_config=data_cfg, model_config=model_cfg,
+            trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render(
+            f"Table I (lower): PeMS @ {args.missing_rate:.0%} missing by horizon"
+        ))
+    elif args.command == "table2":
+        from dataclasses import replace
+
+        stampede_cfg = replace(data_cfg, dataset="stampede", missing_rate=None,
+                               num_days=max(data_cfg.num_days, 10))
+        result = run_table2(
+            models=models, data_config=stampede_cfg, model_config=model_cfg,
+            trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render("Table II: Stampede by horizon"))
+    elif args.command == "imputation":
+        result = run_imputation_study(
+            missing_rates=args.rates, data_config=data_cfg,
+            model_config=model_cfg, trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render())
+    elif args.command == "fig4":
+        result = run_fig4(
+            graph_counts=args.graphs, data_config=data_cfg,
+            model_config=model_cfg, trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render())
+    elif args.command == "fig5":
+        result = run_fig5(
+            lambdas=args.lambdas, data_config=data_cfg,
+            model_config=model_cfg, trainer_config=trainer_cfg, verbose=True,
+        )
+        print()
+        print(result.render())
+    elif args.command == "report":
+        from .experiments import ReportConfig, generate_report
+
+        skip = set(args.skip)
+        report_cfg = ReportConfig(
+            include_table1_missing="table1-missing" not in skip,
+            include_table1_horizon="table1-horizon" not in skip,
+            include_table2="table2" not in skip,
+            include_imputation="imputation" not in skip,
+            include_fig4="fig4" not in skip,
+            include_fig5="fig5" not in skip,
+            models=models,
+            data=data_cfg,
+            model=model_cfg,
+            trainer=trainer_cfg,
+        )
+        text = generate_report(report_cfg)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.output}")
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Missing-pattern analysis utilities.
+
+Quantifies *how* data is missing, not just how much — the distinction the
+paper draws between static-sensor dropout (random, bursty) and
+roving-sensor sparsity (structured, service-hour bound). Useful both for
+dataset validation and for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import TrafficDataset
+
+__all__ = ["MissingnessProfile", "profile_missingness", "gap_length_distribution"]
+
+
+def gap_length_distribution(mask: np.ndarray) -> np.ndarray:
+    """Lengths of all contiguous missing runs, pooled over series.
+
+    ``mask``: ``(T, N, D)`` (or ``(T, N)``); returns a 1-D int array with
+    one entry per gap. Empty when nothing is missing.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim == 2:
+        mask = mask[:, :, None]
+    if mask.ndim != 3:
+        raise ValueError(f"mask must be (T, N[, D]), got {mask.shape}")
+    total = mask.shape[0]
+    lengths: list[int] = []
+    flat = mask.reshape(total, -1)
+    for series in flat.T:
+        missing = series == 0
+        if not missing.any():
+            continue
+        # Run-length encode the missing indicator.
+        edges = np.flatnonzero(np.diff(np.concatenate([[0], missing, [0]])))
+        starts, ends = edges[::2], edges[1::2]
+        lengths.extend((ends - starts).tolist())
+    return np.asarray(lengths, dtype=np.int64)
+
+
+@dataclass
+class MissingnessProfile:
+    """Summary statistics of a dataset's observation pattern."""
+
+    missing_rate: float
+    per_node_missing: np.ndarray  # (N,)
+    per_hour_missing: np.ndarray  # (24,)
+    mean_gap_length: float
+    max_gap_length: int
+    num_gaps: int
+    fully_missing_nodes: int
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"missing rate        : {self.missing_rate:.1%}",
+            f"per-node range      : {self.per_node_missing.min():.1%}"
+            f" - {self.per_node_missing.max():.1%}",
+            f"gaps                : {self.num_gaps} "
+            f"(mean {self.mean_gap_length:.1f}, max {self.max_gap_length} steps)",
+            f"fully-missing nodes : {self.fully_missing_nodes}",
+            "per-hour missing    :",
+        ]
+        for h in range(24):
+            bar = "#" * int(30 * self.per_hour_missing[h])
+            lines.append(f"  {h:02d}:00 {self.per_hour_missing[h]:6.1%} {bar}")
+        return "\n".join(lines)
+
+
+def profile_missingness(dataset: TrafficDataset) -> MissingnessProfile:
+    """Compute the full missingness profile of a dataset."""
+    mask = dataset.mask
+    per_node = 1.0 - mask.mean(axis=(0, 2))
+    hours = dataset.steps_of_day * 24 // dataset.steps_per_day
+    per_hour = np.zeros(24)
+    for h in range(24):
+        sel = hours == h
+        per_hour[h] = 1.0 - mask[sel].mean() if sel.any() else 0.0
+    gaps = gap_length_distribution(mask)
+    return MissingnessProfile(
+        missing_rate=dataset.missing_rate,
+        per_node_missing=per_node,
+        per_hour_missing=per_hour,
+        mean_gap_length=float(gaps.mean()) if gaps.size else 0.0,
+        max_gap_length=int(gaps.max()) if gaps.size else 0,
+        num_gaps=int(gaps.size),
+        fully_missing_nodes=int((per_node >= 1.0).sum()),
+    )

@@ -1,0 +1,128 @@
+"""The dataset container shared by both benchmarks' data builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .network import RoadNetwork
+
+__all__ = ["TrafficDataset"]
+
+
+@dataclass
+class TrafficDataset:
+    """An (incomplete) spatio-temporal traffic dataset.
+
+    Attributes
+    ----------
+    data:
+        Measurements ``(T, N, D)``. Missing entries hold the value 0 (they
+        are ignored through ``mask``; models must never read them without
+        consulting the mask).
+    mask:
+        ``(T, N, D)``, 1 where observed, 0 where missing — the masking
+        tensor M of Section III-A.
+    truth:
+        ``(T, N, D)`` fully-observed ground truth when the source is a
+        simulator (used only for imputation evaluation, never for
+        training).
+    network:
+        Road network providing the geographic distance matrix.
+    steps_per_day:
+        Timestamps per day (288 for 5-minute data).
+    steps_of_day:
+        ``(T,)`` time-of-day index per timestamp.
+    feature_names:
+        Length-``D`` labels (e.g. avg speed + lane speeds).
+    """
+
+    data: np.ndarray
+    mask: np.ndarray
+    truth: np.ndarray | None
+    network: RoadNetwork
+    steps_per_day: int
+    steps_of_day: np.ndarray
+    feature_names: list[str]
+    name: str = "traffic"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.data.ndim != 3:
+            raise ValueError(f"data must be (T, N, D), got shape {self.data.shape}")
+        if self.mask.shape != self.data.shape:
+            raise ValueError(
+                f"mask shape {self.mask.shape} != data shape {self.data.shape}"
+            )
+        if self.truth is not None and self.truth.shape != self.data.shape:
+            raise ValueError(
+                f"truth shape {self.truth.shape} != data shape {self.data.shape}"
+            )
+        if self.data.shape[1] != self.network.num_nodes:
+            raise ValueError(
+                f"data has {self.data.shape[1]} nodes, network has "
+                f"{self.network.num_nodes}"
+            )
+        if len(self.steps_of_day) != self.data.shape[0]:
+            raise ValueError("steps_of_day length must equal T")
+        if len(self.feature_names) != self.data.shape[2]:
+            raise ValueError("feature_names length must equal D")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def num_features(self) -> int:
+        return self.data.shape[2]
+
+    @property
+    def missing_rate(self) -> float:
+        """Fraction of entries that are missing."""
+        return float(1.0 - self.mask.mean())
+
+    def with_mask(self, mask: np.ndarray) -> "TrafficDataset":
+        """Copy of the dataset with a new observation mask applied.
+
+        Entries newly masked out are zeroed in ``data`` so no model can
+        accidentally peek at them.
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != self.data.shape:
+            raise ValueError(f"mask shape {mask.shape} != data shape {self.data.shape}")
+        source = self.truth if self.truth is not None else self.data
+        return replace(self, data=source * mask, mask=mask)
+
+    def chronological_split(
+        self, ratios: tuple[float, float, float] = (0.7, 0.2, 0.1)
+    ) -> tuple["TrafficDataset", "TrafficDataset", "TrafficDataset"]:
+        """Train/val/test split along time (paper: 7:2:1)."""
+        if abs(sum(ratios) - 1.0) > 1e-9:
+            raise ValueError(f"ratios must sum to 1, got {ratios}")
+        total = self.num_steps
+        train_end = int(total * ratios[0])
+        val_end = train_end + int(total * ratios[1])
+        return (
+            self.slice_steps(0, train_end, suffix="train"),
+            self.slice_steps(train_end, val_end, suffix="val"),
+            self.slice_steps(val_end, total, suffix="test"),
+        )
+
+    def slice_steps(self, start: int, end: int, suffix: str = "slice") -> "TrafficDataset":
+        """Sub-dataset covering timestamps ``[start, end)``."""
+        if not 0 <= start < end <= self.num_steps:
+            raise ValueError(f"invalid slice [{start}, {end}) for T={self.num_steps}")
+        return replace(
+            self,
+            data=self.data[start:end],
+            mask=self.mask[start:end],
+            truth=self.truth[start:end] if self.truth is not None else None,
+            steps_of_day=self.steps_of_day[start:end],
+            name=f"{self.name}-{suffix}",
+        )

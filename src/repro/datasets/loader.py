@@ -1,0 +1,51 @@
+"""Mini-batch iteration over window sets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .windows import WindowSet
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Iterates a :class:`WindowSet` in (optionally shuffled) mini-batches.
+
+    Paper setting: batch size 64. Reshuffles each epoch with its own
+    seeded generator so training runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        windows: WindowSet,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.windows = windows
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(self.windows.num_windows, self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[WindowSet]:
+        order = np.arange(self.windows.num_windows)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.windows.subset(batch)

@@ -1,0 +1,104 @@
+"""Missing-data injection.
+
+Table I drops observed values uniformly at random ("percentage of values
+that have been randomly dropped in historical data") — that is
+:func:`mcar_mask`. We additionally provide structured mechanisms that
+static sensors exhibit in practice (the paper's Section I cites detector
+malfunction and transmission failure): whole-sensor outages over contiguous
+windows, and feature-correlated drops (a failing detector loses all lanes
+at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mcar_mask",
+    "block_mask",
+    "sensor_failure_mask",
+    "combine_masks",
+    "holdout_observed",
+]
+
+
+def mcar_mask(
+    shape: tuple[int, ...],
+    missing_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Missing-completely-at-random mask; 1=observed, 0=missing."""
+    if not 0.0 <= missing_rate < 1.0:
+        raise ValueError(f"missing_rate must be in [0, 1), got {missing_rate}")
+    return (rng.random(shape) >= missing_rate).astype(np.float64)
+
+
+def block_mask(
+    shape: tuple[int, int, int],
+    num_blocks: int,
+    block_length: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Contiguous per-node outage windows (communication failures).
+
+    ``shape`` is ``(T, N, D)``; each block zeroes all features of one node
+    for a random span with length drawn from ``block_length``.
+    """
+    total, nodes, _features = shape
+    mask = np.ones(shape)
+    lo, hi = block_length
+    if lo < 1 or hi < lo:
+        raise ValueError(f"invalid block_length range {block_length}")
+    for _ in range(num_blocks):
+        node = int(rng.integers(nodes))
+        length = int(rng.integers(lo, hi + 1))
+        start = int(rng.integers(max(total - length, 1)))
+        mask[start : start + length, node, :] = 0.0
+    return mask
+
+
+def sensor_failure_mask(
+    shape: tuple[int, int, int],
+    failure_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Timestamp-level whole-sensor drops (all features together).
+
+    Models a detector that either reports a full record or nothing — the
+    realistic failure mode for loop detectors, where lane counts share one
+    cabinet uplink.
+    """
+    total, nodes, features = shape
+    node_mask = (rng.random((total, nodes)) >= failure_rate).astype(np.float64)
+    return np.repeat(node_mask[:, :, None], features, axis=2)
+
+
+def combine_masks(*masks: np.ndarray) -> np.ndarray:
+    """Intersection of observation masks (missing if missing anywhere)."""
+    if not masks:
+        raise ValueError("need at least one mask")
+    out = np.ones_like(masks[0])
+    for m in masks:
+        out = out * m
+    return out
+
+
+def holdout_observed(
+    mask: np.ndarray,
+    holdout_rate: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hide a fraction of *observed* entries for imputation evaluation.
+
+    The paper's RQ2 protocol: "randomly remove 30% of the observed entries
+    and evaluate imputation on them". Returns ``(training_mask,
+    holdout_mask)`` where ``holdout_mask`` marks exactly the hidden-but-
+    known entries.
+    """
+    if not 0.0 < holdout_rate < 1.0:
+        raise ValueError(f"holdout_rate must be in (0, 1), got {holdout_rate}")
+    observed = mask > 0
+    drop = (rng.random(mask.shape) < holdout_rate) & observed
+    training_mask = mask * (~drop)
+    holdout_mask = drop.astype(np.float64)
+    return training_mask, holdout_mask

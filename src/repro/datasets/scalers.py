@@ -1,0 +1,86 @@
+"""Feature scaling (paper: Z-score normalization, Section IV-A3).
+
+The scaler is mask-aware: statistics are computed over *observed* entries
+only, otherwise the zeros standing in for missing values would bias the
+mean/std at high missing rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZScoreScaler"]
+
+
+class ZScoreScaler:
+    """Standardization fit on observed entries.
+
+    Two pooling modes:
+
+    * ``per_node=False`` (default): one (mean, std) per feature channel,
+      pooled over time and nodes — the common protocol for speed data,
+      where magnitudes are comparable across sensors.
+    * ``per_node=True``: one (mean, std) per (node, feature) — required
+      for quantities with strong per-segment offsets (e.g. travel times,
+      which scale with segment length), otherwise shared-parameter models
+      waste capacity re-learning each node's baseline.
+    """
+
+    def __init__(self, per_node: bool = False):
+        self.per_node = per_node
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray, mask: np.ndarray | None = None) -> "ZScoreScaler":
+        data = np.asarray(data, dtype=np.float64)
+        if self.per_node:
+            if data.ndim != 3:
+                raise ValueError(
+                    f"per-node scaling needs (T, N, D) data, got {data.shape}"
+                )
+            axis: int | tuple[int, ...] = 0
+            flat = data
+            mask_flat = np.asarray(mask, dtype=np.float64) if mask is not None else None
+        else:
+            if data.ndim < 1:
+                raise ValueError("data must have at least one axis")
+            axis = 0
+            flat = data.reshape(-1, data.shape[-1])
+            mask_flat = (
+                np.asarray(mask, dtype=np.float64).reshape(-1, data.shape[-1])
+                if mask is not None
+                else None
+            )
+        if mask_flat is None:
+            mean = flat.mean(axis=axis)
+            std = flat.std(axis=axis)
+        else:
+            count = mask_flat.sum(axis=axis)
+            count_safe = np.maximum(count, 1.0)
+            mean = (flat * mask_flat).sum(axis=axis) / count_safe
+            var = (((flat - mean) ** 2) * mask_flat).sum(axis=axis) / count_safe
+            std = np.sqrt(var)
+        std = np.where(std < 1e-8, 1.0, std)  # constant features pass through
+        self.mean_ = mean
+        self.std_ = std
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+
+    def transform(self, data: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Standardize; masked-out entries stay exactly zero."""
+        self._check_fitted()
+        out = (np.asarray(data, dtype=np.float64) - self.mean_) / self.std_
+        if mask is not None:
+            out = out * np.asarray(mask, dtype=np.float64)
+        return out
+
+    def fit_transform(self, data: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(data, mask).transform(data, mask)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map standardized values back to the original units."""
+        self._check_fitted()
+        return np.asarray(data, dtype=np.float64) * self.std_ + self.mean_

@@ -1,0 +1,220 @@
+"""Ground-truth traffic field simulator.
+
+Produces the spatio-temporal speed field both dataset builders sample
+from. The simulator is designed around the three phenomena the paper's
+evaluation depends on:
+
+1. **Geographic correlation** — congestion diffuses along the road graph,
+   so nearby segments co-vary (what a static geographic GCN exploits).
+2. **Heterogeneous temporal clusters** — each node belongs to a *peak
+   profile cluster* (morning-heavy / evening-heavy / balanced / flat)
+   assigned independently of location. Two far-apart nodes in the same
+   cluster share daily shapes while near neighbours may differ — exactly
+   the Fig. 3 phenomenon that motivates temporal graphs.
+3. **Periodicity + stochasticity** — weekly cycle (lighter weekends),
+   AR(1) noise, and random incidents that depress speed locally for a
+   while.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import RoadNetwork
+
+__all__ = ["TrafficFieldConfig", "TrafficField", "simulate_traffic_field", "PEAK_CLUSTERS"]
+
+# (morning amplitude, evening amplitude) multipliers per cluster.
+PEAK_CLUSTERS: dict[str, tuple[float, float]] = {
+    "morning": (1.0, 0.35),
+    "evening": (0.35, 1.0),
+    "balanced": (0.75, 0.75),
+    "flat": (0.15, 0.15),
+}
+
+
+@dataclass
+class TrafficFieldConfig:
+    """Simulation parameters (defaults tuned to PeMS-like freeway speeds)."""
+
+    num_days: int = 14
+    steps_per_day: int = 288  # 5-minute resolution
+    free_flow_speed: float = 65.0  # mph
+    peak_congestion: float = 0.55  # max fractional speed drop at rush hour
+    morning_peak_hour: float = 8.0
+    evening_peak_hour: float = 17.5
+    peak_width_hours: float = 1.6
+    weekend_factor: float = 0.35  # congestion scaling on weekends
+    spatial_diffusion: float = 0.35  # how much congestion leaks to neighbours
+    diffusion_rounds: int = 2
+    noise_std: float = 1.5  # mph, AR(1) innovation scale
+    noise_ar: float = 0.85
+    incident_rate_per_day: float = 0.3  # expected incidents per node per day
+    incident_duration_steps: tuple[int, int] = (6, 30)  # 30 min – 2.5 h
+    incident_severity: tuple[float, float] = (0.2, 0.6)
+    cluster_names: tuple[str, ...] = ("morning", "evening", "balanced", "flat")
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_days < 1:
+            raise ValueError(f"num_days must be >= 1, got {self.num_days}")
+        if self.steps_per_day < 24:
+            raise ValueError(f"steps_per_day must be >= 24, got {self.steps_per_day}")
+        if not 0 <= self.peak_congestion < 1:
+            raise ValueError(f"peak_congestion must be in [0, 1), got {self.peak_congestion}")
+        unknown = set(self.cluster_names) - set(PEAK_CLUSTERS)
+        if unknown:
+            raise ValueError(f"unknown peak clusters: {sorted(unknown)}")
+
+
+@dataclass
+class TrafficField:
+    """Simulated ground truth.
+
+    Attributes
+    ----------
+    speeds:
+        ``(T, N)`` ground-truth average speeds in mph, strictly positive.
+    congestion:
+        ``(T, N)`` fractional congestion in [0, 1) before noise.
+    clusters:
+        Per-node peak-profile cluster name.
+    steps_of_day:
+        ``(T,)`` time-of-day index for every timestamp.
+    days_of_week:
+        ``(T,)`` 0=Monday .. 6=Sunday.
+    """
+
+    speeds: np.ndarray
+    congestion: np.ndarray
+    clusters: list[str]
+    steps_of_day: np.ndarray
+    days_of_week: np.ndarray
+    config: TrafficFieldConfig = field(repr=False, default=None)
+
+    @property
+    def num_steps(self) -> int:
+        return self.speeds.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.speeds.shape[1]
+
+
+def _daily_congestion_profile(
+    cfg: TrafficFieldConfig,
+    morning_amp: np.ndarray,
+    evening_amp: np.ndarray,
+    morning_shift: np.ndarray,
+    evening_shift: np.ndarray,
+) -> np.ndarray:
+    """Per-node daily congestion curves ``(steps_per_day, N)``.
+
+    Two Gaussian bumps per node with cluster-dependent amplitudes and small
+    node-specific peak-time shifts.
+    """
+    hours = np.arange(cfg.steps_per_day) * 24.0 / cfg.steps_per_day  # (S,)
+    width = cfg.peak_width_hours
+
+    def bump(center: np.ndarray) -> np.ndarray:
+        # Circular distance in hours so late-night wraps correctly.
+        delta = np.abs(hours[:, None] - center[None, :])
+        delta = np.minimum(delta, 24.0 - delta)
+        return np.exp(-0.5 * (delta / width) ** 2)
+
+    morning = bump(cfg.morning_peak_hour + morning_shift) * morning_amp[None, :]
+    evening = bump(cfg.evening_peak_hour + evening_shift) * evening_amp[None, :]
+    profile = cfg.peak_congestion * (morning + evening)
+    return np.clip(profile, 0.0, 0.95)
+
+
+def _diffuse(field_values: np.ndarray, adjacency: np.ndarray, alpha: float, rounds: int) -> np.ndarray:
+    """Spatially smooth a ``(T, N)`` field along the road graph.
+
+    Each round mixes every node with the degree-normalized average of its
+    neighbours: ``x <- (1 - alpha) x + alpha P x`` with row-stochastic P.
+    """
+    row_sum = adjacency.sum(axis=1, keepdims=True)
+    row_sum[row_sum == 0] = 1.0
+    propagate = adjacency / row_sum
+    out = field_values
+    for _ in range(rounds):
+        out = (1.0 - alpha) * out + alpha * out @ propagate.T
+    return out
+
+
+def simulate_traffic_field(
+    network: RoadNetwork,
+    config: TrafficFieldConfig | None = None,
+) -> TrafficField:
+    """Run the simulator on a road network."""
+    cfg = config or TrafficFieldConfig()
+    rng = np.random.default_rng(cfg.seed)
+    n = network.num_nodes
+    total = cfg.num_days * cfg.steps_per_day
+
+    # --- cluster assignment (independent of geography) -----------------
+    clusters = [str(c) for c in rng.choice(cfg.cluster_names, size=n)]
+    morning_amp = np.array([PEAK_CLUSTERS[c][0] for c in clusters])
+    evening_amp = np.array([PEAK_CLUSTERS[c][1] for c in clusters])
+    morning_shift = rng.normal(0.0, 0.4, size=n)
+    evening_shift = rng.normal(0.0, 0.4, size=n)
+
+    profile = _daily_congestion_profile(
+        cfg, morning_amp, evening_amp, morning_shift, evening_shift
+    )  # (S, N)
+
+    # --- tile across days with a weekly cycle ---------------------------
+    steps_of_day = np.tile(np.arange(cfg.steps_per_day), cfg.num_days)
+    day_index = np.repeat(np.arange(cfg.num_days), cfg.steps_per_day)
+    days_of_week = day_index % 7
+    weekend = np.isin(days_of_week, (5, 6))
+    day_scale = np.where(weekend, cfg.weekend_factor, 1.0)
+    # Mild day-to-day variation.
+    daily_noise = rng.normal(1.0, 0.08, size=(cfg.num_days, n)).clip(0.6, 1.4)
+    congestion = profile[steps_of_day] * day_scale[:, None] * daily_noise[day_index]
+
+    # --- incidents ------------------------------------------------------
+    expected_incidents = cfg.incident_rate_per_day * cfg.num_days * n
+    num_incidents = rng.poisson(expected_incidents)
+    lo_dur, hi_dur = cfg.incident_duration_steps
+    lo_sev, hi_sev = cfg.incident_severity
+    for _ in range(num_incidents):
+        node = int(rng.integers(n))
+        start = int(rng.integers(total))
+        duration = int(rng.integers(lo_dur, hi_dur + 1))
+        severity = rng.uniform(lo_sev, hi_sev)
+        end = min(start + duration, total)
+        # Triangular onset/decay.
+        ramp = np.minimum(
+            np.arange(end - start) + 1, np.arange(end - start, 0, -1)
+        ) / max((end - start) / 2.0, 1.0)
+        congestion[start:end, node] += severity * np.clip(ramp, 0, 1)
+
+    # --- spatial diffusion along the road graph -------------------------
+    adjacency = np.asarray(
+        (network.distances < np.percentile(network.distances, 30)) & (network.distances > 0),
+        dtype=np.float64,
+    )
+    congestion = _diffuse(congestion, adjacency, cfg.spatial_diffusion, cfg.diffusion_rounds)
+    congestion = np.clip(congestion, 0.0, 0.95)
+
+    # --- AR(1) measurement-level noise ----------------------------------
+    noise = np.zeros((total, n))
+    innovations = rng.normal(0.0, cfg.noise_std, size=(total, n))
+    for t in range(1, total):
+        noise[t] = cfg.noise_ar * noise[t - 1] + innovations[t]
+
+    speeds = cfg.free_flow_speed * (1.0 - congestion) + noise
+    speeds = np.clip(speeds, 3.0, None)  # jammed traffic still moves
+
+    return TrafficField(
+        speeds=speeds,
+        congestion=congestion,
+        clusters=clusters,
+        steps_of_day=steps_of_day,
+        days_of_week=days_of_week,
+        config=cfg,
+    )

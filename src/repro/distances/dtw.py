@@ -1,0 +1,113 @@
+"""Dynamic Time Warping.
+
+The paper uses DTW both to build temporal graphs (distance between the
+historical-average series of two road segments in a time interval) and to
+score candidate timeline partitions (Eq. 2), because DTW "can capture the
+distance between series of variable lengths while does not put too much
+weight on the difference of amplitude".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dtw_distance", "dtw_path"]
+
+
+def _local_cost_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean cost between every pair of (multivariate) samples.
+
+    ``a``: (n, d) or (n,); ``b``: (m, d) or (m,).
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64).T).T
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64).T).T
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    window: int | None = None,
+    normalize: bool = False,
+) -> float:
+    """DTW distance between two (possibly multivariate) series.
+
+    Parameters
+    ----------
+    a, b:
+        Series of shape ``(n,)`` or ``(n, d)``; lengths may differ.
+    window:
+        Optional Sakoe-Chiba band half-width restricting warping; ``None``
+        means unconstrained.
+    normalize:
+        If True, divide by the warping-path length (returns an average
+        per-step cost, comparable across series lengths).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("DTW is undefined for empty series")
+    if window is not None:
+        window = max(window, abs(n - m))
+
+    cost = _local_cost_matrix(a, b)
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if window is None:
+            lo, hi = 1, m
+        else:
+            lo = max(1, i - window)
+            hi = min(m, i + window)
+        for j in range(lo, hi + 1):
+            step = min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+            acc[i, j] = cost[i - 1, j - 1] + step
+
+    distance = float(acc[n, m])
+    if normalize:
+        distance /= float(n + m)
+    return distance
+
+
+def dtw_path(a: np.ndarray, b: np.ndarray) -> tuple[float, list[tuple[int, int]]]:
+    """DTW distance plus the optimal alignment path (for diagnostics)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    n, m = len(a), len(b)
+    cost = _local_cost_matrix(a, b)
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            acc[i, j] = cost[i - 1, j - 1] + min(
+                acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1]
+            )
+    # Backtrack.
+    path: list[tuple[int, int]] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        choices = (acc[i - 1, j - 1], acc[i - 1, j], acc[i, j - 1])
+        move = int(np.argmin(choices))
+        if move == 0:
+            i, j = i - 1, j - 1
+        elif move == 1:
+            i -= 1
+        else:
+            j -= 1
+    path.reverse()
+    return float(acc[n, m]), path

@@ -1,0 +1,59 @@
+"""Longest Common Subsequence similarity for real-valued series.
+
+Third series-distance option cited by the paper. Two samples "match" when
+they are within ``epsilon``; the distance is 1 - LCSS/min(n, m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lcss_similarity", "lcss_distance"]
+
+
+def lcss_similarity(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float = 1.0,
+    delta: int | None = None,
+) -> int:
+    """Length of the longest common subsequence under tolerance ``epsilon``.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum Euclidean distance for two samples to count as equal.
+    delta:
+        Optional temporal band: samples may only match when their indices
+        differ by at most ``delta``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim == 1:
+        a = a[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            in_band = delta is None or abs(i - j) <= delta
+            if in_band and np.linalg.norm(a[i - 1] - b[j - 1]) <= epsilon:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return int(table[n, m])
+
+
+def lcss_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    epsilon: float = 1.0,
+    delta: int | None = None,
+) -> float:
+    """Distance in [0, 1]: ``1 - LCSS / min(len(a), len(b))``."""
+    n, m = len(np.atleast_1d(a)), len(np.atleast_1d(b))
+    if n == 0 or m == 0:
+        raise ValueError("LCSS is undefined for empty series")
+    sim = lcss_similarity(a, b, epsilon=epsilon, delta=delta)
+    return 1.0 - sim / min(n, m)

@@ -1,0 +1,82 @@
+"""Pairwise node-to-node series distance matrices.
+
+Feeds the temporal-graph builder: given one series per road segment
+(historical averages within a time interval), produce the symmetric
+distance matrix that Eq. (8) turns into an adjacency matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from .dtw import dtw_distance
+from .erp import erp_distance
+from .lcss import lcss_distance
+
+__all__ = ["series_distance_matrix", "get_series_metric", "euclidean_distance_matrix"]
+
+MetricName = Literal["dtw", "erp", "lcss", "euclidean"]
+
+
+def _euclidean_series(a: np.ndarray, b: np.ndarray) -> float:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"euclidean series distance needs equal shapes, got {a.shape} vs {b.shape}"
+        )
+    return float(np.linalg.norm(a - b))
+
+
+def get_series_metric(name: MetricName, **kwargs) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Resolve a metric name to a callable, binding extra options.
+
+    ``dtw`` accepts ``window``/``normalize``; ``erp`` accepts ``gap``;
+    ``lcss`` accepts ``epsilon``/``delta``.
+    """
+    if name == "dtw":
+        return lambda a, b: dtw_distance(a, b, **kwargs)
+    if name == "erp":
+        return lambda a, b: erp_distance(a, b, **kwargs)
+    if name == "lcss":
+        return lambda a, b: lcss_distance(a, b, **kwargs)
+    if name == "euclidean":
+        return _euclidean_series
+    raise ValueError(f"unknown series metric {name!r}")
+
+
+def series_distance_matrix(
+    series: np.ndarray,
+    metric: MetricName | Callable[[np.ndarray, np.ndarray], float] = "dtw",
+    **kwargs,
+) -> np.ndarray:
+    """Symmetric pairwise distance matrix between per-node series.
+
+    Parameters
+    ----------
+    series:
+        Array of shape ``(N, L)`` or ``(N, L, D)`` — one series per node.
+    metric:
+        Metric name (resolved via :func:`get_series_metric`) or a callable.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim < 2:
+        raise ValueError(f"series must be (N, L[, D]), got shape {series.shape}")
+    fn = metric if callable(metric) else get_series_metric(metric, **kwargs)
+    n = series.shape[0]
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = fn(series[i], series[j])
+            out[i, j] = d
+            out[j, i] = d
+    return out
+
+
+def euclidean_distance_matrix(points: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between coordinate points ``(N, k)``."""
+    points = np.asarray(points, dtype=np.float64)
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))

@@ -1,0 +1,192 @@
+"""Experiment context: dataset -> corruption -> scaling -> windows -> graphs.
+
+Centralizes the data pipeline every experiment shares so each table/figure
+module only declares *what* varies. Heterogeneous graph sets are cached
+per interval count (Fig. 4 sweeps M over the same data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+
+import numpy as np
+
+from ..datasets import (
+    StampedeConfig,
+    TrafficDataset,
+    WindowSet,
+    ZScoreScaler,
+    block_mask,
+    holdout_observed,
+    make_pems_dataset,
+    make_stampede_dataset,
+    make_windows,
+    mcar_mask,
+    sensor_failure_mask,
+)
+from ..graphs import (
+    HeterogeneousGraphSet,
+    PartitionConfig,
+    build_heterogeneous_graphs,
+    gaussian_kernel_adjacency,
+)
+from .config import DataConfig, ModelConfig
+
+__all__ = ["ExperimentContext", "prepare_context"]
+
+
+def _build_dataset(cfg: DataConfig) -> TrafficDataset:
+    if cfg.dataset == "pems":
+        return make_pems_dataset(
+            num_nodes=cfg.num_nodes,
+            num_days=cfg.num_days,
+            steps_per_day=cfg.steps_per_day,
+            seed=cfg.seed,
+        )
+    return make_stampede_dataset(
+        StampedeConfig(
+            num_days=cfg.num_days,
+            steps_per_day=cfg.steps_per_day,
+            seed=cfg.seed,
+        )
+    )
+
+
+def _corrupt(dataset: TrafficDataset, cfg: DataConfig) -> TrafficDataset:
+    """Apply the configured missingness on top of the natural mask."""
+    if cfg.missing_rate is None:
+        return dataset
+    rng = np.random.default_rng(cfg.seed + 1)
+    if cfg.missing_kind == "mcar":
+        injected = mcar_mask(dataset.data.shape, cfg.missing_rate, rng)
+    elif cfg.missing_kind == "sensor":
+        injected = sensor_failure_mask(dataset.data.shape, cfg.missing_rate, rng)
+    else:  # block
+        total, nodes, _ = dataset.data.shape
+        # Pick a block count that lands near the requested overall rate.
+        mean_len = 18
+        num_blocks = int(cfg.missing_rate * total * nodes / mean_len)
+        injected = block_mask(dataset.data.shape, num_blocks, (6, 30), rng)
+    return dataset.with_mask(dataset.mask * injected)
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs, built once per configuration."""
+
+    data_config: DataConfig
+    model_config: ModelConfig
+    raw: TrafficDataset  # before corruption (truth available)
+    corrupted: TrafficDataset  # scaled? no — original units, corrupted mask
+    scaler: ZScoreScaler
+    train: TrafficDataset  # scaled splits
+    val: TrafficDataset
+    test: TrafficDataset
+    train_windows: WindowSet
+    val_windows: WindowSet
+    test_windows: WindowSet
+    adjacency: np.ndarray  # geographic (Eq. 8)
+    # RQ2 artifacts: extra holdout applied to the test split.
+    test_holdout_windows: WindowSet | None = None
+    holdout_mask_windows: np.ndarray | None = None
+    truth_x_windows: np.ndarray | None = None
+    _graph_cache: dict[int, HeterogeneousGraphSet] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.raw.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        return self.raw.num_features
+
+    def graphs(self, num_intervals: int | None = None) -> HeterogeneousGraphSet:
+        """Heterogeneous graph set built from *training* history (cached)."""
+        m = num_intervals or self.model_config.num_graphs
+        if m not in self._graph_cache:
+            mc = self.model_config
+            self._graph_cache[m] = build_heterogeneous_graphs(
+                self.train.data,
+                self.train.mask,
+                self.raw.network.distances,
+                steps_per_day=self.raw.steps_per_day,
+                num_intervals=m,
+                metric=mc.series_metric,
+                partition_config=PartitionConfig(
+                    num_intervals=m,
+                    metric=mc.series_metric,
+                    downsample_to=mc.partition_downsample,
+                ),
+                membership_mode=mc.membership_mode,
+            )
+        return self._graph_cache[m]
+
+
+def prepare_context(
+    data_cfg: DataConfig,
+    model_cfg: ModelConfig | None = None,
+) -> ExperimentContext:
+    """Build the full pipeline for one experiment configuration."""
+    model_cfg = model_cfg or ModelConfig()
+    raw = _build_dataset(data_cfg)
+    corrupted = _corrupt(raw, data_cfg)
+
+    train_u, val_u, test_u = corrupted.chronological_split()
+    per_node = data_cfg.per_node_scaling
+    if per_node is None:
+        # Travel times carry large per-segment offsets; speeds do not.
+        per_node = data_cfg.dataset == "stampede"
+    scaler = ZScoreScaler(per_node=per_node).fit(train_u.data, train_u.mask)
+
+    def scale(ds: TrafficDataset) -> TrafficDataset:
+        return dc_replace(
+            ds,
+            data=scaler.transform(ds.data, ds.mask),
+            truth=scaler.transform(ds.truth) if ds.truth is not None else None,
+        )
+
+    train, val, test = scale(train_u), scale(val_u), scale(test_u)
+    window_args = dict(
+        input_length=data_cfg.input_length,
+        output_length=data_cfg.output_length,
+        stride=data_cfg.stride,
+    )
+    train_windows = make_windows(train, **window_args)
+    val_windows = make_windows(val, **window_args)
+    test_windows = make_windows(test, **window_args)
+
+    adjacency = gaussian_kernel_adjacency(raw.network.distances)
+
+    ctx = ExperimentContext(
+        data_config=data_cfg,
+        model_config=model_cfg,
+        raw=raw,
+        corrupted=corrupted,
+        scaler=scaler,
+        train=train,
+        val=val,
+        test=test,
+        train_windows=train_windows,
+        val_windows=val_windows,
+        test_windows=test_windows,
+        adjacency=adjacency,
+    )
+
+    # RQ2: hide a further fraction of the *observed* test entries.
+    if data_cfg.imputation_holdout:
+        rng = np.random.default_rng(data_cfg.seed + 7)
+        reduced_mask, holdout = holdout_observed(
+            test.mask, data_cfg.imputation_holdout, rng
+        )
+        test_holdout = dc_replace(test, data=test.data * reduced_mask, mask=reduced_mask)
+        ctx.test_holdout_windows = make_windows(test_holdout, **window_args)
+        # Parallel windows over the holdout mask and the scaled truth.
+        holdout_ds = dc_replace(test, data=holdout, mask=np.ones_like(holdout))
+        ctx.holdout_mask_windows = make_windows(holdout_ds, **window_args).x
+        truth_source = test.truth if test.truth is not None else test.data
+        truth_ds = dc_replace(
+            test, data=truth_source, mask=np.ones_like(truth_source)
+        )
+        ctx.truth_x_windows = make_windows(truth_ds, **window_args).x
+    return ctx

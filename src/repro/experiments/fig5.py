@@ -1,0 +1,82 @@
+"""Figure 5 reproduction: sensitivity to the imputation-loss weight λ.
+
+Sweeps λ over several orders of magnitude at 40 % missing. The paper
+observes (a) imputation error decreasing monotonically with λ and (b) a
+U-shaped prediction error with a wide good basin λ ∈ (0.001, 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..models import RecurrentImputationForecaster
+from ..training import MetricPair, Trainer, TrainerConfig
+from .config import DataConfig, ModelConfig, default_trainer_config
+from .context import prepare_context
+from .registry import build_model
+from .runner import evaluate_model_imputation
+from .tables import format_series
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+DEFAULT_LAMBDAS = [0.0001, 0.001, 0.01, 0.1, 1.0, 5.0, 20.0]
+
+
+@dataclass
+class Fig5Result:
+    """Imputation and prediction metrics per λ value."""
+
+    lambdas: list[float]
+    prediction: list[MetricPair] = field(default_factory=list)
+    imputation: list[MetricPair] = field(default_factory=list)
+
+    def render(self) -> str:
+        return format_series(
+            "Fig. 5: performance vs imputation-loss weight lambda (40% missing)",
+            "lambda",
+            self.lambdas,
+            {
+                "imp MAE": [p.mae for p in self.imputation],
+                "imp RMSE": [p.rmse for p in self.imputation],
+                "pred MAE": [p.mae for p in self.prediction],
+                "pred RMSE": [p.rmse for p in self.prediction],
+            },
+        )
+
+
+def run_fig5(
+    lambdas: list[float] | None = None,
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> Fig5Result:
+    """Train RIHGCN once per λ on a shared data context."""
+    lambdas = lambdas or list(DEFAULT_LAMBDAS)
+    data_cfg = replace(
+        data_config or DataConfig(dataset="pems"), missing_rate=0.4
+    )
+    model_cfg = model_config or ModelConfig()
+    base_trainer = trainer_config or default_trainer_config()
+
+    ctx = prepare_context(data_cfg, model_cfg)
+    result = Fig5Result(lambdas=list(lambdas))
+    for lam in lambdas:
+        trainer_cfg = replace(base_trainer, imputation_weight=lam)
+        model = build_model("RIHGCN", ctx)
+        assert isinstance(model, RecurrentImputationForecaster)
+        trainer = Trainer(model, trainer_cfg)
+        trainer.fit(ctx.train_windows, ctx.val_windows)
+        pred = trainer.predict(ctx.test_windows)
+        from .runner import _score_prediction
+
+        horizon = data_cfg.output_length
+        metrics = _score_prediction(pred, ctx, [horizon])
+        result.prediction.append(metrics[horizon])
+        result.imputation.append(evaluate_model_imputation(model, ctx))
+        if verbose:
+            print(
+                f"  lambda={lam:g} pred {metrics[horizon]} | "
+                f"imp {result.imputation[-1]}"
+            )
+    return result

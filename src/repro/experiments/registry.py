@@ -1,0 +1,163 @@
+"""Model registry: the names used in Tables I/II mapped to builders.
+
+Each builder takes the experiment context and returns a fresh model. The
+registry covers the paper's full comparison set:
+
+* statistical: HA, VAR
+* mean-filled neural: FC-LSTM, FC-GCN, GCN-LSTM, ASTGCN, Graph WaveNet
+* imputation-enhanced ablations: FC-LSTM-I, FC-GCN-I, GCN-LSTM-I
+* proposed: RIHGCN
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..models import (
+    ASTGCN,
+    DCRNN,
+    STGCN,
+    GraphWaveNet,
+    GRUDForecaster,
+    HistoricalAverage,
+    SeasonalHistoricalAverage,
+    NeuralForecaster,
+    StatisticalForecaster,
+    VectorAutoRegression,
+    fc_gcn,
+    fc_gcn_i,
+    fc_lstm,
+    fc_lstm_i,
+    gcn_lstm,
+    gcn_lstm_i,
+    rihgcn,
+)
+from .context import ExperimentContext
+
+__all__ = [
+    "NEURAL_MODELS",
+    "STATISTICAL_MODELS",
+    "ALL_MODEL_NAMES",
+    "build_model",
+    "is_statistical",
+]
+
+
+def _dims(ctx: ExperimentContext) -> dict:
+    cfg = ctx.data_config
+    return dict(
+        input_length=cfg.input_length,
+        output_length=cfg.output_length,
+        num_nodes=ctx.num_nodes,
+        num_features=ctx.num_features,
+    )
+
+
+def _nn_common(ctx: ExperimentContext) -> dict:
+    mc = ctx.model_config
+    return dict(
+        embed_dim=mc.embed_dim,
+        hidden_dim=mc.hidden_dim,
+        cheb_order=mc.cheb_order,
+        seed=mc.seed,
+    )
+
+
+def _imputation_common(ctx: ExperimentContext) -> dict:
+    mc = ctx.model_config
+    return dict(
+        **_nn_common(ctx),
+        bidirectional=mc.bidirectional,
+        detach_imputation=mc.detach_imputation,
+    )
+
+
+NEURAL_MODELS: dict[str, Callable[[ExperimentContext], NeuralForecaster]] = {
+    "FC-LSTM": lambda ctx: fc_lstm(**_dims(ctx), **_nn_common(ctx)),
+    "FC-GCN": lambda ctx: fc_gcn(
+        adjacency=ctx.adjacency, **_dims(ctx), **_nn_common(ctx)
+    ),
+    "GCN-LSTM": lambda ctx: gcn_lstm(
+        adjacency=ctx.adjacency, **_dims(ctx), **_nn_common(ctx)
+    ),
+    "ASTGCN": lambda ctx: ASTGCN(
+        adjacency=ctx.adjacency,
+        hidden_channels=ctx.model_config.embed_dim,
+        cheb_order=ctx.model_config.cheb_order,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
+    "Graph WaveNet": lambda ctx: GraphWaveNet(
+        adjacency=ctx.adjacency,
+        residual_channels=ctx.model_config.embed_dim,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
+    "FC-LSTM-I": lambda ctx: fc_lstm_i(**_dims(ctx), **_imputation_common(ctx)),
+    "FC-GCN-I": lambda ctx: fc_gcn_i(
+        adjacency=ctx.adjacency, **_dims(ctx), **_imputation_common(ctx)
+    ),
+    "GCN-LSTM-I": lambda ctx: gcn_lstm_i(
+        adjacency=ctx.adjacency, **_dims(ctx), **_imputation_common(ctx)
+    ),
+    "STGCN": lambda ctx: STGCN(
+        adjacency=ctx.adjacency,
+        hidden_channels=ctx.model_config.embed_dim,
+        cheb_order=ctx.model_config.cheb_order,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
+    "DCRNN": lambda ctx: DCRNN(
+        adjacency=ctx.adjacency,
+        hidden_dim=ctx.model_config.hidden_dim,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
+    "GRU-D": lambda ctx: GRUDForecaster(
+        hidden_dim=ctx.model_config.hidden_dim,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
+    "RIHGCN": lambda ctx: rihgcn(
+        graphs=ctx.graphs(), **_dims(ctx), **_imputation_common(ctx)
+    ),
+}
+
+STATISTICAL_MODELS: dict[str, Callable[[ExperimentContext], StatisticalForecaster]] = {
+    "HA": lambda ctx: HistoricalAverage(),
+    "SHA": lambda ctx: SeasonalHistoricalAverage(steps_per_day=ctx.raw.steps_per_day),
+    "VAR": lambda ctx: VectorAutoRegression(lags=3),
+}
+
+ALL_MODEL_NAMES: list[str] = [
+    "HA",
+    "SHA",
+    "VAR",
+    "ASTGCN",
+    "Graph WaveNet",
+    "FC-LSTM",
+    "FC-GCN",
+    "GCN-LSTM",
+    "STGCN",
+    "DCRNN",
+    "GRU-D",
+    "FC-LSTM-I",
+    "FC-GCN-I",
+    "GCN-LSTM-I",
+    "RIHGCN",
+]
+
+
+def is_statistical(name: str) -> bool:
+    return name in STATISTICAL_MODELS
+
+
+def build_model(name: str, ctx: ExperimentContext):
+    """Instantiate a registered model for the given context."""
+    if name in STATISTICAL_MODELS:
+        return STATISTICAL_MODELS[name](ctx)
+    if name in NEURAL_MODELS:
+        return NEURAL_MODELS[name](ctx)
+    raise KeyError(
+        f"unknown model {name!r}; available: {ALL_MODEL_NAMES}"
+    )

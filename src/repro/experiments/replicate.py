@@ -1,0 +1,83 @@
+"""Multi-seed replication: mean ± std of any experiment metric.
+
+The paper reports single numbers; for a reproduction on a stochastic
+simulator it is more honest to report seed variability, so every
+experiment entry point can be wrapped with :func:`replicate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from ..training import MetricPair, TrainerConfig
+from .config import DataConfig, ModelConfig
+from .context import prepare_context
+from .runner import ModelResult, run_model
+
+__all__ = ["ReplicateResult", "replicate_metric", "replicate_model"]
+
+
+@dataclass
+class ReplicateResult:
+    """Aggregate of one scalar metric across seeds."""
+
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.num_seeds})"
+
+
+def replicate_metric(
+    fn: Callable[[int], float],
+    seeds: list[int],
+) -> ReplicateResult:
+    """Evaluate ``fn(seed)`` for every seed and aggregate."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return ReplicateResult(values=[float(fn(seed)) for seed in seeds])
+
+
+def replicate_model(
+    name: str,
+    data_config: DataConfig,
+    model_config: ModelConfig,
+    trainer_config: TrainerConfig | None = None,
+    seeds: list[int] | None = None,
+    horizon: int | None = None,
+) -> tuple[ReplicateResult, ReplicateResult]:
+    """Run one registered model across seeds.
+
+    Both the data generation (mask draw, simulator) and the model
+    initialization are re-seeded each run, so the spread reflects the full
+    experiment pipeline. Returns ``(mae, rmse)`` aggregates at ``horizon``
+    (default: the configured output length).
+    """
+    seeds = seeds if seeds is not None else [0, 1, 2]
+    horizon = horizon or data_config.output_length
+    maes: list[float] = []
+    rmses: list[float] = []
+    for seed in seeds:
+        ctx = prepare_context(
+            replace(data_config, seed=seed),
+            replace(model_config, seed=seed),
+        )
+        result: ModelResult = run_model(name, ctx, trainer_config, [horizon])
+        pair: MetricPair = result.metric_at(horizon)
+        maes.append(pair.mae)
+        rmses.append(pair.rmse)
+    return ReplicateResult(maes), ReplicateResult(rmses)

@@ -1,0 +1,220 @@
+"""Experiment runner: trains/fits a model and scores it the paper's way.
+
+Prediction metrics are cumulative MAE/RMSE at 15/30/45/60-minute horizons
+(3/6/9/12 five-minute steps) over the primary feature (average speed for
+PeMS-like, travel time for Stampede-like) in original units.
+
+Imputation metrics (RQ2) score the held-out observed entries of the test
+split, also in original units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..imputation import Imputer
+from ..models import NeuralForecaster, RecurrentImputationForecaster, StatisticalForecaster
+from ..training import MetricPair, Trainer, TrainerConfig, evaluate_horizons, masked_mae, masked_rmse
+from .context import ExperimentContext
+from .registry import build_model, is_statistical
+
+__all__ = [
+    "ModelResult",
+    "run_model",
+    "run_models",
+    "evaluate_imputer",
+    "evaluate_model_imputation",
+    "DEFAULT_HORIZONS",
+    "HORIZON_MINUTES",
+]
+
+#: cumulative horizons in steps and their label in minutes (5-min data)
+DEFAULT_HORIZONS = [3, 6, 9, 12]
+HORIZON_MINUTES = {3: 15, 6: 30, 9: 45, 12: 60}
+
+
+@dataclass
+class ModelResult:
+    """Outcome of one (model, context) run."""
+
+    name: str
+    horizon_metrics: dict[int, MetricPair]
+    train_seconds: float
+    num_parameters: int = 0
+    epochs: int = 0
+    imputation: MetricPair | None = None
+    extra: dict = field(default_factory=dict)
+
+    def metric_at(self, horizon: int) -> MetricPair:
+        return self.horizon_metrics[horizon]
+
+
+def _score_prediction(
+    pred_scaled: np.ndarray,
+    ctx: ExperimentContext,
+    horizons: list[int],
+    target_feature: int = 0,
+) -> dict[int, MetricPair]:
+    windows = ctx.test_windows
+    pred = ctx.scaler.inverse_transform(pred_scaled)
+    target = ctx.scaler.inverse_transform(windows.y)
+    sl = slice(target_feature, target_feature + 1)
+    return evaluate_horizons(
+        pred[..., sl], target[..., sl], windows.y_mask[..., sl], horizons
+    )
+
+
+def run_model(
+    name: str,
+    ctx: ExperimentContext,
+    trainer_config: TrainerConfig | None = None,
+    horizons: list[int] | None = None,
+    evaluate_imputation: bool = False,
+) -> ModelResult:
+    """Train (if needed) and evaluate one registered model."""
+    horizons = horizons or list(DEFAULT_HORIZONS)
+    horizons = [h for h in horizons if h <= ctx.data_config.output_length]
+    start = time.perf_counter()
+
+    if is_statistical(name):
+        model: StatisticalForecaster = build_model(name, ctx)
+        model.fit(ctx.train.data, ctx.train.mask)
+        kwargs = {}
+        if getattr(model, "needs_steps_of_day", False):
+            kwargs["steps_of_day"] = ctx.test_windows.steps_of_day
+        pred = model.predict(
+            ctx.test_windows.x, ctx.test_windows.m,
+            ctx.data_config.output_length, **kwargs,
+        )
+        metrics = _score_prediction(pred, ctx, horizons)
+        return ModelResult(
+            name=name,
+            horizon_metrics=metrics,
+            train_seconds=time.perf_counter() - start,
+        )
+
+    neural: NeuralForecaster = build_model(name, ctx)
+    trainer = Trainer(neural, trainer_config)
+    history = trainer.fit(ctx.train_windows, ctx.val_windows)
+    pred = trainer.predict(ctx.test_windows)
+    metrics = _score_prediction(pred, ctx, horizons)
+    result = ModelResult(
+        name=name,
+        horizon_metrics=metrics,
+        train_seconds=time.perf_counter() - start,
+        num_parameters=neural.num_parameters(),
+        epochs=history.num_epochs,
+    )
+    if evaluate_imputation and isinstance(neural, RecurrentImputationForecaster):
+        result.imputation = evaluate_model_imputation(neural, ctx)
+    return result
+
+
+def run_models(
+    names: list[str],
+    ctx: ExperimentContext,
+    trainer_config: TrainerConfig | None = None,
+    horizons: list[int] | None = None,
+    verbose: bool = False,
+) -> list[ModelResult]:
+    """Run a list of models on one context."""
+    results = []
+    for name in names:
+        result = run_model(name, ctx, trainer_config, horizons)
+        if verbose:
+            h = max(result.horizon_metrics)
+            print(
+                f"  {name:14s} MAE={result.metric_at(h).mae:8.4f} "
+                f"RMSE={result.metric_at(h).rmse:8.4f} "
+                f"({result.train_seconds:.1f}s)"
+            )
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Imputation evaluation (RQ2)
+# ----------------------------------------------------------------------
+def evaluate_imputer(imputer: Imputer, ctx: ExperimentContext) -> MetricPair:
+    """Score a classical imputer on the held-out test entries.
+
+    The imputer sees the test split with the extra 30 % holdout removed
+    (in original units) and is scored on exactly those hidden entries.
+    """
+    if ctx.test_holdout_windows is None:
+        raise ValueError("context was built without an imputation holdout")
+    # Reconstruct the unscaled test series with the reduced mask.
+    test = ctx.test
+    reduced_mask = None
+    # Derive the series-level reduced mask and holdout from the stored
+    # context artifacts: recompute from the scaled split directly.
+    holdout_series, reduced_mask = _series_holdout(ctx)
+    data_unscaled = ctx.scaler.inverse_transform(test.data) * reduced_mask
+    truth_unscaled = ctx.scaler.inverse_transform(
+        test.truth if test.truth is not None else test.data
+    )
+    filled = imputer(data_unscaled, reduced_mask)
+    return MetricPair(
+        mae=masked_mae(filled, truth_unscaled, holdout_series),
+        rmse=masked_rmse(filled, truth_unscaled, holdout_series),
+    )
+
+
+def _series_holdout(ctx: ExperimentContext) -> tuple[np.ndarray, np.ndarray]:
+    """(holdout mask, reduced observation mask) at the series level."""
+    rng = np.random.default_rng(ctx.data_config.seed + 7)
+    from ..datasets import holdout_observed  # local import to avoid cycle
+
+    reduced, holdout = holdout_observed(
+        ctx.test.mask, ctx.data_config.imputation_holdout, rng
+    )
+    return holdout, reduced
+
+
+def evaluate_model_imputation(
+    model: RecurrentImputationForecaster,
+    ctx: ExperimentContext,
+) -> MetricPair:
+    """Score the model's built-in imputation on the held-out entries.
+
+    The model imputes each test window (with the extra holdout hidden);
+    overlapping window estimates are averaged back into a series, then
+    compared to the ground truth on the held-out entries in original
+    units — the same protocol as :func:`evaluate_imputer`.
+    """
+    windows = ctx.test_holdout_windows
+    if windows is None:
+        raise ValueError("context was built without an imputation holdout")
+    series_shape = ctx.test.data.shape
+    acc = np.zeros(series_shape)
+    count = np.zeros(series_shape)
+    stride = ctx.data_config.stride
+    length = ctx.data_config.input_length
+
+    batch_size = 64
+    with no_grad():
+        for start in range(0, windows.num_windows, batch_size):
+            sl = slice(start, start + batch_size)
+            imputed = model.impute(
+                windows.x[sl], windows.m[sl], windows.steps_of_day[sl]
+            )
+            for offset, win in enumerate(imputed):
+                pos = (start + offset) * stride
+                acc[pos : pos + length] += win
+                count[pos : pos + length] += 1.0
+    covered = count > 0
+    series = np.where(covered, acc / np.maximum(count, 1.0), 0.0)
+    series_unscaled = ctx.scaler.inverse_transform(series)
+    truth_unscaled = ctx.scaler.inverse_transform(
+        ctx.test.truth if ctx.test.truth is not None else ctx.test.data
+    )
+    holdout, _reduced = _series_holdout(ctx)
+    holdout = holdout * covered  # only score positions some window covered
+    return MetricPair(
+        mae=masked_mae(series_unscaled, truth_unscaled, holdout),
+        rmse=masked_rmse(series_unscaled, truth_unscaled, holdout),
+    )

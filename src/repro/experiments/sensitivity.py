@@ -1,0 +1,127 @@
+"""Generic hyper-parameter sensitivity sweeps.
+
+The paper's intro promises sensitivity studies "in response to a varying
+number of heterogeneous graphs and different values of model
+hyper-parameters"; Figs. 4/5 cover M and λ. This module generalizes the
+mechanism so any :class:`ModelConfig` field (Chebyshev order, embedding
+size, hidden size, membership mode, ...) or the trainer's λ can be swept
+with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from ..training import MetricPair, TrainerConfig
+from .config import DataConfig, ModelConfig, default_trainer_config
+from .context import prepare_context
+from .runner import run_model
+from .tables import format_series
+
+__all__ = ["SensitivityResult", "sweep_model_field", "sweep_trainer_field"]
+
+_MODEL_FIELDS = {f.name for f in fields(ModelConfig)}
+_TRAINER_FIELDS = {f.name for f in fields(TrainerConfig)}
+
+
+@dataclass
+class SensitivityResult:
+    """Prediction metrics per swept value."""
+
+    field_name: str
+    values: list
+    metrics: list[MetricPair] = field(default_factory=list)
+
+    def best_value(self):
+        idx = min(range(len(self.metrics)), key=lambda i: self.metrics[i].mae)
+        return self.values[idx]
+
+    def render(self, title: str | None = None) -> str:
+        return format_series(
+            title or f"Sensitivity to {self.field_name}",
+            self.field_name,
+            self.values,
+            {
+                "MAE": [m.mae for m in self.metrics],
+                "RMSE": [m.rmse for m in self.metrics],
+            },
+        )
+
+
+def sweep_model_field(
+    field_name: str,
+    values: list,
+    model_name: str = "RIHGCN",
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> SensitivityResult:
+    """Train ``model_name`` once per value of a :class:`ModelConfig` field.
+
+    The data context is rebuilt per value only when the field affects data
+    preparation (graph structure); architecture-only fields reuse it.
+    """
+    if field_name not in _MODEL_FIELDS:
+        raise ValueError(
+            f"{field_name!r} is not a ModelConfig field; options: "
+            f"{sorted(_MODEL_FIELDS)}"
+        )
+    data_cfg = data_config or DataConfig()
+    base_model = model_config or ModelConfig()
+    trainer_cfg = trainer_config or default_trainer_config()
+    horizon = data_cfg.output_length
+
+    graph_affecting = {"num_graphs", "series_metric", "partition_downsample",
+                       "membership_mode"}
+    shared_ctx = (
+        prepare_context(data_cfg, base_model)
+        if field_name not in graph_affecting
+        else None
+    )
+
+    result = SensitivityResult(field_name=field_name, values=list(values))
+    for value in values:
+        model_cfg = replace(base_model, **{field_name: value})
+        ctx = shared_ctx
+        if ctx is None:
+            ctx = prepare_context(data_cfg, model_cfg)
+        else:
+            ctx = replace(ctx, model_config=model_cfg)
+        run = run_model(model_name, ctx, trainer_cfg, horizons=[horizon])
+        result.metrics.append(run.metric_at(horizon))
+        if verbose:
+            print(f"  {field_name}={value}: {result.metrics[-1]}")
+    return result
+
+
+def sweep_trainer_field(
+    field_name: str,
+    values: list,
+    model_name: str = "RIHGCN",
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> SensitivityResult:
+    """Sweep a :class:`TrainerConfig` field (e.g. ``imputation_weight``,
+    ``learning_rate``) on one shared data context."""
+    if field_name not in _TRAINER_FIELDS:
+        raise ValueError(
+            f"{field_name!r} is not a TrainerConfig field; options: "
+            f"{sorted(_TRAINER_FIELDS)}"
+        )
+    data_cfg = data_config or DataConfig()
+    model_cfg = model_config or ModelConfig()
+    base_trainer = trainer_config or default_trainer_config()
+    horizon = data_cfg.output_length
+    ctx = prepare_context(data_cfg, model_cfg)
+
+    result = SensitivityResult(field_name=field_name, values=list(values))
+    for value in values:
+        trainer_cfg = replace(base_trainer, **{field_name: value})
+        run = run_model(model_name, ctx, trainer_cfg, horizons=[horizon])
+        result.metrics.append(run.metric_at(horizon))
+        if verbose:
+            print(f"  {field_name}={value}: {result.metrics[-1]}")
+    return result

@@ -1,0 +1,92 @@
+"""Table I reproduction: PeMS prediction performance.
+
+Upper table: MAE/RMSE per model at missing rates {20, 40, 60, 80} %
+(60-minute horizon). Lower table: MAE/RMSE per model at horizons
+{15, 30, 45, 60} minutes with the missing rate fixed at 80 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..training import MetricPair, TrainerConfig
+from .config import DataConfig, ModelConfig, default_trainer_config
+from .context import prepare_context
+from .registry import ALL_MODEL_NAMES
+from .runner import HORIZON_MINUTES, ModelResult, run_models
+from .tables import format_metric_table
+
+__all__ = ["Table1Result", "run_table1_missing_rates", "run_table1_horizons"]
+
+DEFAULT_MISSING_RATES = [0.2, 0.4, 0.6, 0.8]
+
+
+@dataclass
+class Table1Result:
+    """Structured result: ``cells[model][column]`` -> MetricPair."""
+
+    column_labels: list[str]
+    cells: dict[str, list[MetricPair]] = field(default_factory=dict)
+    details: list[ModelResult] = field(default_factory=list)
+
+    def render(self, title: str) -> str:
+        rows = [(name, pairs) for name, pairs in self.cells.items()]
+        return format_metric_table(title, self.column_labels, rows)
+
+
+def run_table1_missing_rates(
+    models: list[str] | None = None,
+    missing_rates: list[float] | None = None,
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> Table1Result:
+    """Upper Table I: sweep the missing rate at the 60-min horizon."""
+    models = models or list(ALL_MODEL_NAMES)
+    missing_rates = missing_rates or list(DEFAULT_MISSING_RATES)
+    base_data = data_config or DataConfig(dataset="pems")
+    model_cfg = model_config or ModelConfig()
+    trainer_cfg = trainer_config or default_trainer_config()
+
+    result = Table1Result(
+        column_labels=[f"{int(r * 100)}%" for r in missing_rates],
+        cells={name: [] for name in models},
+    )
+    horizon = base_data.output_length
+    for rate in missing_rates:
+        if verbose:
+            print(f"missing rate {rate:.0%}:")
+        ctx = prepare_context(replace(base_data, missing_rate=rate), model_cfg)
+        for model_result in run_models(models, ctx, trainer_cfg, [horizon], verbose):
+            result.cells[model_result.name].append(model_result.metric_at(horizon))
+            result.details.append(model_result)
+    return result
+
+
+def run_table1_horizons(
+    models: list[str] | None = None,
+    horizons: list[int] | None = None,
+    missing_rate: float = 0.8,
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> Table1Result:
+    """Lower Table I: sweep the horizon at a fixed (high) missing rate."""
+    models = models or list(ALL_MODEL_NAMES)
+    horizons = horizons or [3, 6, 9, 12]
+    base_data = data_config or DataConfig(dataset="pems")
+    data_cfg = replace(base_data, missing_rate=missing_rate)
+    model_cfg = model_config or ModelConfig()
+    trainer_cfg = trainer_config or default_trainer_config()
+
+    labels = [f"{HORIZON_MINUTES.get(h, h * 5)} min" for h in horizons]
+    result = Table1Result(column_labels=labels, cells={name: [] for name in models})
+    ctx = prepare_context(data_cfg, model_cfg)
+    for model_result in run_models(models, ctx, trainer_cfg, horizons, verbose):
+        result.cells[model_result.name] = [
+            model_result.metric_at(h) for h in horizons
+        ]
+        result.details.append(model_result)
+    return result

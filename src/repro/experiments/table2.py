@@ -1,0 +1,49 @@
+"""Table II reproduction: Stampede (roving sensor) prediction performance.
+
+Horizons {15, 30, 45, 60} minutes with the dataset's *natural* high
+missingness (no injection) — the defining stress of roving-sensor data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..training import TrainerConfig
+from .config import DataConfig, ModelConfig, default_trainer_config
+from .context import prepare_context
+from .registry import ALL_MODEL_NAMES
+from .runner import HORIZON_MINUTES, run_models
+from .table1 import Table1Result
+
+__all__ = ["run_table2"]
+
+
+def run_table2(
+    models: list[str] | None = None,
+    horizons: list[int] | None = None,
+    data_config: DataConfig | None = None,
+    model_config: ModelConfig | None = None,
+    trainer_config: TrainerConfig | None = None,
+    verbose: bool = False,
+) -> Table1Result:
+    """Run Table II; returns the same structured result type as Table I."""
+    models = models or list(ALL_MODEL_NAMES)
+    horizons = horizons or [3, 6, 9, 12]
+    base = data_config or DataConfig(dataset="stampede", num_days=14)
+    data_cfg = replace(base, dataset="stampede", missing_rate=None)
+    model_cfg = model_config or ModelConfig()
+    trainer_cfg = trainer_config or default_trainer_config()
+
+    labels = [f"{HORIZON_MINUTES.get(h, h * 5)} min" for h in horizons]
+    result = Table1Result(column_labels=labels, cells={name: [] for name in models})
+    ctx = prepare_context(data_cfg, model_cfg)
+    if verbose:
+        print(
+            f"stampede natural missing rate: {ctx.corrupted.missing_rate:.1%}"
+        )
+    for model_result in run_models(models, ctx, trainer_cfg, horizons, verbose):
+        result.cells[model_result.name] = [
+            model_result.metric_at(h) for h in horizons
+        ]
+        result.details.append(model_result)
+    return result

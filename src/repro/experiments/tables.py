@@ -1,0 +1,64 @@
+"""Plain-text rendering of paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from ..training import MetricPair
+
+__all__ = ["format_metric_table", "format_series"]
+
+
+def format_metric_table(
+    title: str,
+    column_labels: list[str],
+    rows: list[tuple[str, list[MetricPair]]],
+    metric_names: tuple[str, str] = ("MAE", "RMSE"),
+) -> str:
+    """Render rows of (MAE, RMSE) pairs under grouped column headers.
+
+    Mirrors the layout of Tables I/II: one column group per missing rate
+    or prediction length, two sub-columns (MAE, RMSE) each.
+    """
+    name_width = max([len(r[0]) for r in rows] + [len("Methods")]) + 2
+    cell = 9
+    group = cell * 2 + 1
+
+    lines = [title, "=" * (name_width + (group + 2) * len(column_labels))]
+    header1 = "Methods".ljust(name_width)
+    header2 = " " * name_width
+    for label in column_labels:
+        header1 += f"| {label.center(group)} "
+        header2 += f"| {metric_names[0].center(cell)}{metric_names[1].center(cell)} "
+    lines.append(header1)
+    lines.append(header2)
+    lines.append("-" * len(header1))
+    for name, pairs in rows:
+        if len(pairs) != len(column_labels):
+            raise ValueError(
+                f"row {name!r} has {len(pairs)} cells for "
+                f"{len(column_labels)} columns"
+            )
+        line = name.ljust(name_width)
+        for pair in pairs:
+            line += f"| {pair.mae:8.4f} {pair.rmse:8.4f} "
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: list,
+    series: dict[str, list[float]],
+) -> str:
+    """Render figure data (e.g. metric vs lambda) as an aligned table."""
+    lines = [title, "=" * max(len(title), 40)]
+    header = f"{x_label:>12s}" + "".join(f"{name:>14s}" for name in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        x_str = f"{x:g}" if isinstance(x, (int, float)) else str(x)
+        row = f"{x_str:>12s}"
+        for values in series.values():
+            row += f"{values[i]:>14.4f}"
+        lines.append(row)
+    return "\n".join(lines)

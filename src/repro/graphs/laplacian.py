@@ -1,0 +1,80 @@
+"""Graph Laplacians and Chebyshev polynomial stacks (Section III-C).
+
+The spectral GCN of Eq. (1) needs ``T_k(L̃)`` where
+``L̃ = 2 L / lambda_max - I`` is the scaled normalized Laplacian. The graph
+is fixed during training, so these matrices are computed once and cached in
+each :class:`~repro.nn.graph.ChebConv`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalized_laplacian",
+    "scaled_laplacian",
+    "chebyshev_polynomials",
+    "max_eigenvalue",
+]
+
+
+def normalized_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric normalized Laplacian ``I - D^{-1/2} A D^{-1/2}``.
+
+    Isolated nodes contribute identity rows (their normalized adjacency row
+    is zero).
+    """
+    a = np.asarray(adjacency, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {a.shape}")
+    degree = a.sum(axis=1)
+    inv_sqrt = np.zeros_like(degree)
+    nonzero = degree > 0
+    inv_sqrt[nonzero] = degree[nonzero] ** -0.5
+    normalized = (a * inv_sqrt[:, None]) * inv_sqrt[None, :]
+    return np.eye(a.shape[0]) - normalized
+
+
+def max_eigenvalue(matrix: np.ndarray) -> float:
+    """Largest eigenvalue of a symmetric matrix (for Laplacian scaling)."""
+    sym = (matrix + matrix.T) / 2.0
+    eigenvalues = np.linalg.eigvalsh(sym)
+    return float(eigenvalues[-1])
+
+
+def scaled_laplacian(adjacency: np.ndarray, lambda_max: float | None = None) -> np.ndarray:
+    """``L̃ = 2 L / lambda_max - I`` with eigenvalues in ``[-1, 1]``.
+
+    ``lambda_max`` defaults to the exact largest eigenvalue; pass ``2.0``
+    for the common cheap approximation.
+    """
+    lap = normalized_laplacian(adjacency)
+    if lambda_max is None:
+        lambda_max = max_eigenvalue(lap)
+    if lambda_max <= 0:
+        # Edgeless graph: L == 0, scaling is irrelevant.
+        lambda_max = 2.0
+    return (2.0 / lambda_max) * lap - np.eye(lap.shape[0])
+
+
+def chebyshev_polynomials(
+    adjacency: np.ndarray,
+    order: int,
+    lambda_max: float | None = None,
+) -> np.ndarray:
+    """Stack ``T_0 .. T_{K-1}`` of the scaled Laplacian, shape ``(K, N, N)``.
+
+    Uses the recurrence ``T_k = 2 L̃ T_{k-1} - T_{k-2}``. ``order`` is the
+    paper's ``K`` (3 in all experiments).
+    """
+    if order < 1:
+        raise ValueError(f"Chebyshev order must be >= 1, got {order}")
+    lap = scaled_laplacian(adjacency, lambda_max=lambda_max)
+    n = lap.shape[0]
+    stack = np.empty((order, n, n))
+    stack[0] = np.eye(n)
+    if order > 1:
+        stack[1] = lap
+    for k in range(2, order):
+        stack[k] = 2.0 * lap @ stack[k - 1] - stack[k - 2]
+    return stack

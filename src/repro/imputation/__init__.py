@@ -1,0 +1,18 @@
+"""Standalone imputation baselines (RQ2 comparison)."""
+
+from .base import Imputer, check_inputs
+from .knn import KNNImputer
+from .matrix_factorization import MatrixFactorizationImputer
+from .simple import LastObservedImputer, LinearInterpolationImputer, MeanImputer
+from .tensor_decomposition import TensorDecompositionImputer
+
+__all__ = [
+    "Imputer",
+    "check_inputs",
+    "MeanImputer",
+    "LastObservedImputer",
+    "LinearInterpolationImputer",
+    "KNNImputer",
+    "MatrixFactorizationImputer",
+    "TensorDecompositionImputer",
+]

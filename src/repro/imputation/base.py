@@ -1,0 +1,40 @@
+"""Imputer interface.
+
+All imputers operate on a full series tensor ``(T, N, D)`` with an
+observation mask and return a completed tensor: observed entries pass
+through unchanged, missing entries are filled. Used for the RQ2 study
+(Table comparing Last/KNN/MF/TD with RIHGCN's built-in imputation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Imputer", "check_inputs"]
+
+
+def check_inputs(data: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce (data, mask) to float64 ``(T, N, D)``."""
+    data = np.asarray(data, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if data.ndim != 3:
+        raise ValueError(f"data must be (T, N, D), got shape {data.shape}")
+    if mask.shape != data.shape:
+        raise ValueError(f"mask shape {mask.shape} != data shape {data.shape}")
+    if ((mask != 0) & (mask != 1)).any():
+        raise ValueError("mask must be binary")
+    return data, mask
+
+
+class Imputer:
+    """Base class; subclasses implement :meth:`impute`."""
+
+    def impute(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Return a completed copy of ``data``."""
+        raise NotImplementedError
+
+    def __call__(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        completed = self.impute(data, mask)
+        # Contract: observed entries are never altered.
+        data, mask = check_inputs(data, mask)
+        return mask * data + (1.0 - mask) * completed

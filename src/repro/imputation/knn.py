@@ -1,0 +1,79 @@
+"""K-nearest-neighbour imputation (paper RQ2 baseline).
+
+A missing entry ``(t, n, d)`` is filled from the ``k`` nodes most similar
+to ``n`` (by correlation of their co-observed history) that *do* observe
+feature ``d`` at time ``t``, weighted by similarity. Falls back to the
+node's temporal neighbourhood and finally to the series mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Imputer, check_inputs
+from .simple import MeanImputer
+
+__all__ = ["KNNImputer"]
+
+
+class KNNImputer(Imputer):
+    """Spatial KNN with correlation similarity.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours to average.
+    min_overlap:
+        Minimum number of co-observed timestamps for a similarity to be
+        trusted; below it the pair gets similarity 0.
+    """
+
+    def __init__(self, k: int = 3, min_overlap: int = 10):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.min_overlap = min_overlap
+
+    def _similarities(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Node-node similarity ``(N, N)`` from co-observed correlation."""
+        total, nodes, features = data.shape
+        flat = data.reshape(total, nodes * features).reshape(total, nodes, features)
+        sims = np.zeros((nodes, nodes))
+        for i in range(nodes):
+            for j in range(i + 1, nodes):
+                both = (mask[:, i] > 0) & (mask[:, j] > 0)  # (T, D)
+                overlap = both.sum()
+                if overlap < self.min_overlap:
+                    continue
+                a = flat[:, i][both]
+                b = flat[:, j][both]
+                a_std, b_std = a.std(), b.std()
+                if a_std < 1e-9 or b_std < 1e-9:
+                    continue
+                corr = float(((a - a.mean()) * (b - b.mean())).mean() / (a_std * b_std))
+                sims[i, j] = sims[j, i] = max(corr, 0.0)
+        return sims
+
+    def impute(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        data, mask = check_inputs(data, mask)
+        nodes = data.shape[1]
+        sims = self._similarities(data, mask)
+        fallback = MeanImputer()(data, mask)
+        out = fallback.copy()
+
+        for n in range(nodes):
+            order = np.argsort(-sims[n])
+            neighbours = [j for j in order if sims[n, j] > 0][: self.k]
+            if not neighbours:
+                continue
+            weights = sims[n, neighbours]  # (k,)
+            # Weighted average of neighbours' observed values at each (t, d).
+            nb_vals = data[:, neighbours, :]  # (T, k, D)
+            nb_mask = mask[:, neighbours, :]  # (T, k, D)
+            w = weights[None, :, None] * nb_mask
+            denom = w.sum(axis=1)  # (T, D)
+            estimate = np.where(denom > 0, (nb_vals * w).sum(axis=1) / np.maximum(denom, 1e-12), np.nan)
+            missing = mask[:, n, :] == 0
+            usable = missing & ~np.isnan(estimate)
+            out[:, n, :][usable] = estimate[usable]
+        return out

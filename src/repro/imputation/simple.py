@@ -1,0 +1,89 @@
+"""Simple imputers: mean, last-observed, linear interpolation.
+
+"Last" is one of the paper's RQ2 baselines; mean filling is the
+preprocessing the paper applies to the non-imputation forecasting
+baselines; linear interpolation is included as the strongest trivial
+method for time series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Imputer, check_inputs
+
+__all__ = ["MeanImputer", "LastObservedImputer", "LinearInterpolationImputer"]
+
+
+class MeanImputer(Imputer):
+    """Fill each (node, feature) series with its observed mean.
+
+    Series with no observations at all fall back to the global feature
+    mean (and finally to 0 if the feature is entirely missing).
+    """
+
+    def impute(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        data, mask = check_inputs(data, mask)
+        count = mask.sum(axis=0)  # (N, D)
+        series_mean = np.where(
+            count > 0, (data * mask).sum(axis=0) / np.maximum(count, 1.0), np.nan
+        )
+        feature_count = mask.sum(axis=(0, 1))  # (D,)
+        feature_mean = np.where(
+            feature_count > 0,
+            (data * mask).sum(axis=(0, 1)) / np.maximum(feature_count, 1.0),
+            0.0,
+        )
+        series_mean = np.where(np.isnan(series_mean), feature_mean, series_mean)
+        return np.broadcast_to(series_mean, data.shape).copy()
+
+
+class LastObservedImputer(Imputer):
+    """Carry the last observation forward (paper's "Last" baseline).
+
+    Leading missing entries (no previous observation) are back-filled from
+    the first observation; fully-missing series fall back to 0.
+    """
+
+    def impute(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        data, mask = check_inputs(data, mask)
+        total = data.shape[0]
+        out = data.copy()
+        # Forward fill via running index of the last observed timestamp.
+        observed = mask > 0
+        idx = np.where(observed, np.arange(total)[:, None, None], -1)
+        last_seen = np.maximum.accumulate(idx, axis=0)
+        has_prev = last_seen >= 0
+        filled = np.take_along_axis(out, np.maximum(last_seen, 0), axis=0)
+        out = np.where(has_prev, filled, out)
+        # Back-fill the leading gap from the first observation.
+        idx_b = np.where(observed, np.arange(total)[:, None, None], total)
+        first_seen = np.minimum.accumulate(idx_b[::-1], axis=0)[::-1]
+        has_next = first_seen < total
+        filled_b = np.take_along_axis(data, np.minimum(first_seen, total - 1), axis=0)
+        out = np.where(~has_prev & has_next, filled_b, out)
+        return out
+
+
+class LinearInterpolationImputer(Imputer):
+    """Linear interpolation in time per (node, feature) series.
+
+    Edges extend the nearest observation; fully-missing series fall back
+    to 0.
+    """
+
+    def impute(self, data: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        data, mask = check_inputs(data, mask)
+        total, nodes, features = data.shape
+        out = data.copy()
+        t_axis = np.arange(total)
+        for n in range(nodes):
+            for d in range(features):
+                obs = mask[:, n, d] > 0
+                if not obs.any():
+                    out[:, n, d] = 0.0
+                    continue
+                if obs.all():
+                    continue
+                out[:, n, d] = np.interp(t_axis, t_axis[obs], data[obs, n, d])
+        return out

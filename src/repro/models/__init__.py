@@ -1,0 +1,50 @@
+"""Model zoo: the paper's RIHGCN, its ablations and all baselines."""
+
+from .astgcn import ASTGCN
+from .dcrnn import DCRNN, DCGRUCell, DiffusionConv, random_walk_supports
+from .base import ForecastOutput, NeuralForecaster, StatisticalForecaster
+from .graph_wavenet import GraphWaveNet
+from .grud import GRUDForecaster, compute_deltas, forward_fill_last
+from .hgcn import GCNEncoder, HGCNBlock, LinearEncoder, SpatialEncoder
+from .historical_average import HistoricalAverage, SeasonalHistoricalAverage
+from .recurrent_imputation import (
+    RecurrentImputationForecaster,
+    build_spatial_encoder,
+)
+from .rihgcn import fc_gcn_i, fc_lstm_i, gcn_lstm_i, rihgcn
+from .stgcn import STGCN
+from .spatiotemporal import SpatioTemporalForecaster, fc_gcn, fc_lstm, gcn_lstm
+from .var import VectorAutoRegression
+
+__all__ = [
+    "ForecastOutput",
+    "NeuralForecaster",
+    "StatisticalForecaster",
+    "SpatialEncoder",
+    "LinearEncoder",
+    "GCNEncoder",
+    "HGCNBlock",
+    "RecurrentImputationForecaster",
+    "build_spatial_encoder",
+    "rihgcn",
+    "gcn_lstm_i",
+    "fc_gcn_i",
+    "fc_lstm_i",
+    "SpatioTemporalForecaster",
+    "fc_lstm",
+    "fc_gcn",
+    "gcn_lstm",
+    "ASTGCN",
+    "GraphWaveNet",
+    "STGCN",
+    "DCRNN",
+    "DCGRUCell",
+    "DiffusionConv",
+    "random_walk_supports",
+    "GRUDForecaster",
+    "compute_deltas",
+    "forward_fill_last",
+    "HistoricalAverage",
+    "SeasonalHistoricalAverage",
+    "VectorAutoRegression",
+]

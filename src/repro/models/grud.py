@@ -1,0 +1,127 @@
+"""GRU-D-style decay forecaster (Che et al., 2018 — the "RNNs for missing
+data" family the paper's related work contrasts against).
+
+Instead of recurrent imputation, GRU-D conditions the recurrence on the
+missing pattern directly through two learned exponential decays:
+
+* **input decay**: a missing input is replaced by a mixture of the last
+  observed value and the (scaled-space) mean, with the mixing weight
+  decaying in the time since the last observation:
+  ``x̃ = m ⊙ x + (1-m) ⊙ (γ_x ⊙ x_last)`` with
+  ``γ_x = exp(-relu(w_x ⊙ δ))`` (the empirical mean is 0 after Z-score);
+* **hidden decay**: the hidden state fades toward zero over unobserved
+  spans: ``h ← γ_h ⊙ h`` with ``γ_h = exp(-relu(W_h δ))``.
+
+The GRU input concatenates ``[x̃ ; m]``, and the usual FC head aggregates
+hidden states into the multistep forecast. Not part of the paper's
+comparison set; provided as a stronger learned-missingness baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack
+from ..nn import GRUCell, Linear, Module, Parameter, init
+from .base import ForecastOutput, NeuralForecaster
+
+__all__ = ["GRUDForecaster", "compute_deltas", "forward_fill_last"]
+
+
+def compute_deltas(mask: np.ndarray) -> np.ndarray:
+    """Time since the last observation, per entry.
+
+    ``mask``: ``(B, T, N, D)``; returns ``delta`` of the same shape where
+    ``delta[:, t]`` is the number of steps since the entry was last
+    observed (counting from the previous step, so an entry observed at
+    ``t-1`` has delta 1; the first step has delta 0 by convention).
+    """
+    mask = np.asarray(mask)
+    batch, steps = mask.shape[:2]
+    delta = np.zeros_like(mask, dtype=np.float64)
+    for t in range(1, steps):
+        delta[:, t] = np.where(
+            mask[:, t - 1] > 0, 1.0, delta[:, t - 1] + 1.0
+        )
+    return delta
+
+
+def forward_fill_last(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per entry, the most recently observed value (0 before the first)."""
+    x = np.asarray(x, dtype=np.float64)
+    mask = np.asarray(mask)
+    out = np.zeros_like(x)
+    carried = np.zeros_like(x[:, 0])
+    for t in range(x.shape[1]):
+        carried = np.where(mask[:, t] > 0, x[:, t], carried)
+        out[:, t] = carried
+    return out
+
+
+class GRUDForecaster(NeuralForecaster):
+    """Decay-based forecaster over incomplete windows."""
+
+    uses_mask = True
+
+    def __init__(
+        self,
+        input_length: int,
+        output_length: int,
+        num_nodes: int,
+        num_features: int,
+        output_features: int | None = None,
+        hidden_dim: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__(input_length, output_length, num_nodes, num_features,
+                         output_features)
+        rng = np.random.default_rng(seed)
+        self.hidden_dim = hidden_dim
+        # Input decay: one rate per feature; hidden decay: delta summary -> H.
+        self.input_decay = Parameter(init.uniform((num_features,), rng, 0.0, 0.2))
+        self.hidden_decay = Parameter(
+            init.xavier_uniform((num_features, hidden_dim), rng)
+        )
+        self.cell = GRUCell(2 * num_features, hidden_dim, rng=rng)
+        self.head = Linear(
+            input_length * hidden_dim, output_length * self.output_features,
+            rng=rng,
+        )
+
+    def forward(
+        self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
+    ) -> ForecastOutput:
+        x = np.asarray(x, dtype=np.float64)
+        m = np.asarray(m, dtype=np.float64)
+        batch, steps, nodes, features = x.shape
+        if steps != self.input_length:
+            raise ValueError(f"expected {self.input_length} steps, got {steps}")
+        deltas = compute_deltas(m)
+        last_values = forward_fill_last(x, m)
+
+        h = None
+        outputs = []
+        for t in range(steps):
+            delta_t = Tensor(deltas[:, t].reshape(batch * nodes, features))
+            m_t = Tensor(m[:, t].reshape(batch * nodes, features))
+            x_t = Tensor(x[:, t].reshape(batch * nodes, features))
+            last_t = Tensor(last_values[:, t].reshape(batch * nodes, features))
+
+            # Input decay toward the scaled-space mean (zero).
+            gamma_x = (-(delta_t * self.input_decay.relu())).exp()
+            x_tilde = m_t * x_t + (1.0 - m_t) * (gamma_x * last_t)
+            # Hidden decay from the delta pattern.
+            if h is not None:
+                gamma_h = (-(delta_t.matmul(self.hidden_decay)).relu()).exp()
+                h = h * gamma_h
+            h = self.cell(concat([x_tilde, m_t], axis=-1), h)
+            outputs.append(h.reshape(batch, nodes, self.hidden_dim))
+
+        z = stack(outputs, axis=1)  # (B, T, N, H)
+        z_nodes = z.transpose(0, 2, 1, 3).reshape(
+            batch, nodes, steps * self.hidden_dim
+        )
+        prediction = self.head(z_nodes).reshape(
+            batch, nodes, self.output_length, self.output_features
+        ).transpose(0, 2, 1, 3)
+        return ForecastOutput(prediction=prediction)

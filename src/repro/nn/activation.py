@@ -1,0 +1,51 @@
+"""Activation modules (stateless wrappers over autodiff ops)."""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor, leaky_relu, softmax
+from .module import Module
+
+__all__ = ["ReLU", "Tanh", "Sigmoid", "LeakyReLU", "Softmax"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky rectifier with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+
+class Softmax(Module):
+    """Softmax over a fixed axis."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return softmax(x, axis=self.axis)

@@ -1,0 +1,39 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, dropout_mask
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Parameters
+    ----------
+    p:
+        Probability of zeroing each activation.
+    rng:
+        Generator used to draw masks; pass a seeded generator for
+        reproducible training runs.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = dropout_mask(x.shape, self.p, self.rng)
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,99 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the reproduction is seedable end-to-end (the experiment harness
+fixes seeds per run).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "orthogonal",
+]
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform initialization in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape, rng: np.random.Generator, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Gaussian initialization."""
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    """All-ones initialization (gates that should start open)."""
+    return np.ones(shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight tensor.
+
+    For 2-D weights this is ``(rows, cols)``; for conv-style kernels the
+    receptive-field size multiplies both fans.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"fan computation requires >=2 dims, got shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: keeps forward/backward variance balanced."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal variant."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform, suited to relu activations."""
+    fan_in, _fan_out = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """He normal, suited to relu activations."""
+    fan_in, _fan_out = _fans(shape)
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (recurrent weight matrices).
+
+    Keeps the spectrum of the recurrent map near 1, which stabilizes the
+    long imputation recurrences in RIHGCN.
+    """
+    if len(shape) != 2:
+        raise ValueError("orthogonal init only supports 2-D shapes")
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return gain * q

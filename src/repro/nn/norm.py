@@ -1,0 +1,41 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis.
+
+    Stabilizes deep stacks (e.g. many ST-Conv blocks); not used by the
+    paper's models by default but available for extensions and ablations.
+    """
+
+    def __init__(self, normalized_size: int, eps: float = 1e-5):
+        super().__init__()
+        if normalized_size < 1:
+            raise ValueError(f"normalized_size must be >= 1, got {normalized_size}")
+        self.normalized_size = normalized_size
+        self.eps = eps
+        self.gain = Parameter(np.ones(normalized_size))
+        self.bias = Parameter(np.zeros(normalized_size))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_size:
+            raise ValueError(
+                f"expected last axis {self.normalized_size}, got shape {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gain + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(size={self.normalized_size})"

@@ -1,0 +1,151 @@
+"""Recurrent layers: LSTM and GRU cells and sequence wrappers.
+
+RIHGCN shares one LSTM across all road-segment nodes (Section III-E of the
+paper), implemented here by folding the node dimension into the batch
+dimension: a step input of shape ``(batch * nodes, features)`` flows through
+a single parameter set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single-step LSTM following the gate equations in the paper (Eq. 4).
+
+    The four gates are computed with one fused matmul for speed:
+    ``z = x W + h U + b`` then split into input/forget/cell/output blocks.
+    The forget-gate bias is initialized to 1 so early training does not
+    erase the recurrent state (important for the long imputation chains).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.weight_hh = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)],
+                axis=1,
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate block
+        self.bias = Parameter(bias)
+
+    def init_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        """Zero (h, c) state for a batch."""
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        if x.ndim != 2:
+            raise ValueError(f"LSTMCell expects (batch, features), got shape {x.shape}")
+        if state is None:
+            state = self.init_state(x.shape[0])
+        h_prev, c_prev = state
+        hidden = self.hidden_size
+        z = x.matmul(self.weight_ih) + h_prev.matmul(self.weight_hh) + self.bias
+        i_gate = z[:, :hidden].sigmoid()
+        f_gate = z[:, hidden : 2 * hidden].sigmoid()
+        g_cell = z[:, 2 * hidden : 3 * hidden].tanh()
+        o_gate = z[:, 3 * hidden :].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_cell
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def __repr__(self) -> str:
+        return f"LSTMCell(in={self.input_size}, hidden={self.hidden_size})"
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit (provided for ablations)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.weight_hh = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(3)],
+                axis=1,
+            )
+        )
+        self.bias = Parameter(np.zeros(3 * hidden_size))
+
+    def init_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+    def forward(self, x: Tensor, h_prev: Tensor | None = None) -> Tensor:
+        if h_prev is None:
+            h_prev = self.init_state(x.shape[0])
+        hidden = self.hidden_size
+        zi = x.matmul(self.weight_ih) + self.bias
+        zh = h_prev.matmul(self.weight_hh)
+        r_gate = (zi[:, :hidden] + zh[:, :hidden]).sigmoid()
+        u_gate = (zi[:, hidden : 2 * hidden] + zh[:, hidden : 2 * hidden]).sigmoid()
+        n_state = (zi[:, 2 * hidden :] + r_gate * zh[:, 2 * hidden :]).tanh()
+        return u_gate * h_prev + (1.0 - u_gate) * n_state
+
+    def __repr__(self) -> str:
+        return f"GRUCell(in={self.input_size}, hidden={self.hidden_size})"
+
+
+class LSTM(Module):
+    """Runs an :class:`LSTMCell` over a time-major-agnostic sequence.
+
+    Input shape ``(batch, time, features)``; returns the stacked hidden
+    states ``(batch, time, hidden)`` plus the final ``(h, c)`` state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        if x.ndim != 3:
+            raise ValueError(f"LSTM expects (batch, time, features), got {x.shape}")
+        steps = x.shape[1]
+        outputs: list[Tensor] = []
+        h_c = state
+        for t in range(steps):
+            h, c = self.cell(x[:, t, :], h_c)
+            h_c = (h, c)
+            outputs.append(h)
+        return stack(outputs, axis=1), h_c
+
+
+def concat_features(*tensors: Tensor) -> Tensor:
+    """Concatenate along the last axis (the ``[s; m]`` op of Eq. 4)."""
+    return concat(list(tensors), axis=-1)

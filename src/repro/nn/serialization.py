@@ -1,0 +1,40 @@
+"""Model checkpointing: save/load state dicts as ``.npz`` archives.
+
+Keeps the library dependency-free (numpy's own format) while supporting
+the deployment story the paper mentions (the model "will be built into a
+transportation application system").
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: str | os.PathLike) -> None:
+    """Write every parameter of ``model`` to ``path`` (``.npz``).
+
+    Dotted parameter names are preserved as archive keys, so any model
+    with the same architecture can load the file back.
+    """
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Raises ``KeyError``/``ValueError`` on architecture mismatch (missing
+    parameter or wrong shape) — a silent partial load is never performed.
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

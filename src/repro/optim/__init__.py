@@ -1,0 +1,25 @@
+"""Optimizers, gradient clipping, schedulers and early stopping."""
+
+from .adam import Adam
+from .optimizer import Optimizer, clip_grad_norm, clip_grad_value
+from .scheduler import (
+    CosineAnnealingLR,
+    EarlyStopping,
+    ExponentialLR,
+    ReduceLROnPlateau,
+    StepLR,
+)
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+    "EarlyStopping",
+]

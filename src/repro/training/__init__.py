@@ -1,0 +1,34 @@
+"""Training loop and evaluation metrics."""
+
+from .cross_validation import FoldResult, RollingOriginCV, rolling_origin_folds
+from .evaluation import error_by_missingness, per_node_metrics, per_step_metrics
+from .metrics import (
+    MetricPair,
+    evaluate_horizons,
+    mae,
+    masked_mae,
+    masked_rmse,
+    rmse,
+)
+from .rolling import ForecastTrace, rolling_forecast
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+
+__all__ = [
+    "mae",
+    "rmse",
+    "masked_mae",
+    "masked_rmse",
+    "MetricPair",
+    "evaluate_horizons",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "per_step_metrics",
+    "per_node_metrics",
+    "error_by_missingness",
+    "ForecastTrace",
+    "rolling_forecast",
+    "FoldResult",
+    "RollingOriginCV",
+    "rolling_origin_folds",
+]

@@ -1,0 +1,143 @@
+"""Rolling-origin cross-validation for time-series forecasters.
+
+A single chronological split (the paper's 7:2:1) yields one test period;
+rolling-origin evaluation re-trains on expanding history and tests on
+successive forward blocks, giving variance estimates that respect time
+ordering (no shuffled k-fold leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..datasets import TrafficDataset, WindowSet, make_windows
+from ..models.base import NeuralForecaster
+from .metrics import MetricPair, masked_mae, masked_rmse
+from .trainer import Trainer, TrainerConfig
+
+__all__ = ["FoldResult", "RollingOriginCV", "rolling_origin_folds"]
+
+
+def rolling_origin_folds(
+    total_steps: int,
+    num_folds: int,
+    test_fraction: float = 0.15,
+    min_train_fraction: float = 0.3,
+) -> list[tuple[int, int, int]]:
+    """Compute ``(train_end, test_start, test_end)`` index triples.
+
+    The test blocks are consecutive, equally-sized spans at the end of the
+    series; each fold trains on everything before its test block
+    (expanding window). ``test_start == train_end`` (no gap).
+    """
+    if num_folds < 1:
+        raise ValueError(f"num_folds must be >= 1, got {num_folds}")
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    test_len = int(total_steps * test_fraction)
+    if test_len < 1:
+        raise ValueError("test block would be empty; increase test_fraction")
+    first_test_start = total_steps - num_folds * test_len
+    if first_test_start < int(total_steps * min_train_fraction):
+        raise ValueError(
+            f"{num_folds} folds x {test_len} steps leave less than "
+            f"{min_train_fraction:.0%} of the series for the first train split"
+        )
+    folds = []
+    for k in range(num_folds):
+        test_start = first_test_start + k * test_len
+        folds.append((test_start, test_start, test_start + test_len))
+    return folds
+
+
+@dataclass
+class FoldResult:
+    """Outcome of one fold."""
+
+    fold: int
+    train_steps: int
+    test_steps: int
+    metrics: MetricPair
+    epochs: int
+
+
+@dataclass
+class RollingOriginCV:
+    """Runs rolling-origin evaluation of a model builder.
+
+    Parameters
+    ----------
+    model_builder:
+        Zero-argument callable returning a fresh (untrained) forecaster;
+        called once per fold so no state leaks across folds.
+    trainer_config:
+        Training budget per fold.
+    input_length / output_length / stride:
+        Window parameters (paper defaults: 12 / 12 / 1).
+    """
+
+    model_builder: Callable[[], NeuralForecaster]
+    trainer_config: TrainerConfig = field(default_factory=TrainerConfig)
+    input_length: int = 12
+    output_length: int = 12
+    stride: int = 1
+    target_feature: int = 0
+
+    def run(
+        self,
+        dataset: TrafficDataset,
+        num_folds: int = 3,
+        test_fraction: float = 0.15,
+        scaler=None,
+        verbose: bool = False,
+    ) -> list[FoldResult]:
+        """Evaluate over ``num_folds`` expanding-window folds.
+
+        ``dataset`` should already be scaled (pass the fitted ``scaler``
+        to report metrics in original units).
+        """
+        folds = rolling_origin_folds(dataset.num_steps, num_folds, test_fraction)
+        results: list[FoldResult] = []
+        for k, (train_end, test_start, test_end) in enumerate(folds):
+            train_ds = dataset.slice_steps(0, train_end, suffix=f"cv{k}-train")
+            test_ds = dataset.slice_steps(test_start, test_end, suffix=f"cv{k}-test")
+            train_w = make_windows(train_ds, self.input_length,
+                                   self.output_length, stride=self.stride)
+            test_w = make_windows(test_ds, self.input_length,
+                                  self.output_length, stride=self.stride)
+            model = self.model_builder()
+            trainer = Trainer(model, self.trainer_config)
+            history = trainer.fit(train_w, None)
+            metrics = self._score(trainer, test_w, scaler)
+            results.append(FoldResult(
+                fold=k,
+                train_steps=train_end,
+                test_steps=test_end - test_start,
+                metrics=metrics,
+                epochs=history.num_epochs,
+            ))
+            if verbose:
+                print(f"  fold {k}: train={train_end} steps -> {metrics}")
+        return results
+
+    def _score(self, trainer: Trainer, windows: WindowSet, scaler) -> MetricPair:
+        pred = trainer.predict(windows)
+        target = windows.y
+        mask = windows.y_mask
+        if scaler is not None:
+            pred = scaler.inverse_transform(pred)
+            target = scaler.inverse_transform(target)
+        sl = slice(self.target_feature, self.target_feature + 1)
+        return MetricPair(
+            mae=masked_mae(pred[..., sl], target[..., sl], mask[..., sl]),
+            rmse=masked_rmse(pred[..., sl], target[..., sl], mask[..., sl]),
+        )
+
+    @staticmethod
+    def summarize(results: list[FoldResult]) -> tuple[float, float]:
+        """(mean MAE, std MAE) across folds."""
+        maes = np.array([r.metrics.mae for r in results])
+        return float(maes.mean()), float(maes.std())

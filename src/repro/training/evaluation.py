@@ -1,0 +1,117 @@
+"""Post-hoc evaluation analysis: per-step and per-node error breakdowns.
+
+The paper's tables aggregate over nodes and (cumulatively) over horizon
+steps; these helpers expose the finer structure for analysis — which road
+segments are hard, how error compounds step by step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import MetricPair
+
+__all__ = ["per_step_metrics", "per_node_metrics", "error_by_missingness"]
+
+
+def _validate(pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> None:
+    if pred.shape != target.shape or pred.shape != mask.shape:
+        raise ValueError(
+            f"shape mismatch: pred {pred.shape}, target {target.shape}, "
+            f"mask {mask.shape}"
+        )
+    if pred.ndim != 4:
+        raise ValueError(f"expected (B, T, N, D) arrays, got {pred.shape}")
+
+
+def per_step_metrics(
+    pred: np.ndarray, target: np.ndarray, mask: np.ndarray
+) -> list[MetricPair]:
+    """Non-cumulative (MAE, RMSE) per forecast step.
+
+    Unlike :func:`~repro.training.evaluate_horizons` (cumulative windows,
+    as the paper's tables report), each returned entry covers exactly one
+    step ahead — the curve a deployment dashboard would plot.
+    """
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    mask = np.asarray(mask, dtype=np.float64)
+    _validate(pred, target, mask)
+    out: list[MetricPair] = []
+    for t in range(pred.shape[1]):
+        m = mask[:, t]
+        denom = max(m.sum(), 1.0)
+        diff = pred[:, t] - target[:, t]
+        out.append(
+            MetricPair(
+                mae=float((np.abs(diff) * m).sum() / denom),
+                rmse=float(np.sqrt((diff * diff * m).sum() / denom)),
+            )
+        )
+    return out
+
+
+def per_node_metrics(
+    pred: np.ndarray, target: np.ndarray, mask: np.ndarray
+) -> list[MetricPair]:
+    """(MAE, RMSE) per road segment, pooled over windows/steps/features."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    mask = np.asarray(mask, dtype=np.float64)
+    _validate(pred, target, mask)
+    out: list[MetricPair] = []
+    for n in range(pred.shape[2]):
+        m = mask[:, :, n]
+        denom = max(m.sum(), 1.0)
+        diff = pred[:, :, n] - target[:, :, n]
+        out.append(
+            MetricPair(
+                mae=float((np.abs(diff) * m).sum() / denom),
+                rmse=float(np.sqrt((diff * diff * m).sum() / denom)),
+            )
+        )
+    return out
+
+
+def error_by_missingness(
+    pred: np.ndarray,
+    target: np.ndarray,
+    target_mask: np.ndarray,
+    history_mask: np.ndarray,
+    bins: int = 4,
+) -> list[tuple[float, MetricPair]]:
+    """Forecast error stratified by how incomplete each window's input was.
+
+    Groups windows into ``bins`` quantile buckets of history missing rate
+    and reports (bucket mean missing rate, MetricPair). Quantifies the
+    paper's core claim at the *window* level: error should degrade
+    gracefully as the input gets sparser.
+    """
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    target_mask = np.asarray(target_mask, dtype=np.float64)
+    history_mask = np.asarray(history_mask, dtype=np.float64)
+    _validate(pred, target, target_mask)
+    if len(history_mask) != len(pred):
+        raise ValueError("history_mask must have one entry per window")
+
+    window_missing = 1.0 - history_mask.reshape(len(history_mask), -1).mean(axis=1)
+    edges = np.quantile(window_missing, np.linspace(0, 1, bins + 1))
+    out: list[tuple[float, MetricPair]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        sel = (window_missing >= lo) & (window_missing <= hi)
+        if not sel.any():
+            continue
+        m = target_mask[sel]
+        denom = max(m.sum(), 1.0)
+        diff = pred[sel] - target[sel]
+        out.append(
+            (
+                float(window_missing[sel].mean()),
+                MetricPair(
+                    mae=float((np.abs(diff) * m).sum() / denom),
+                    rmse=float(np.sqrt((diff * diff * m).sum() / denom)),
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,120 @@
+"""Evaluation metrics (numpy, outside the autodiff graph).
+
+The paper reports MAE and RMSE for both prediction and imputation. All
+metrics here are mask-aware: entries with mask 0 are excluded from the
+average (for prediction on real data only observed targets count; for
+imputation only the held-out entries count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mae",
+    "rmse",
+    "mape",
+    "masked_mae",
+    "masked_rmse",
+    "masked_mape",
+    "MetricPair",
+    "evaluate_horizons",
+]
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.abs(np.asarray(pred) - np.asarray(target)).mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.sqrt((diff * diff).mean()))
+
+
+def mape(pred: np.ndarray, target: np.ndarray, epsilon: float = 1e-3) -> float:
+    """Mean absolute percentage error (%).
+
+    Entries with ``|target| <= epsilon`` are excluded — percentage error is
+    undefined at (near-)zero ground truth. Not used in the paper's tables
+    (which report MAE/RMSE) but standard in the traffic literature.
+    """
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    valid = np.abs(target) > epsilon
+    if not valid.any():
+        return 0.0
+    return float(
+        100.0 * (np.abs(pred - target)[valid] / np.abs(target)[valid]).mean()
+    )
+
+
+def masked_mape(
+    pred: np.ndarray, target: np.ndarray, mask: np.ndarray, epsilon: float = 1e-3
+) -> float:
+    """MAPE over entries where ``mask`` is nonzero and target is non-tiny."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    valid = (np.asarray(mask, dtype=np.float64) > 0) & (np.abs(target) > epsilon)
+    if not valid.any():
+        return 0.0
+    return float(
+        100.0 * (np.abs(pred - target)[valid] / np.abs(target)[valid]).mean()
+    )
+
+
+def masked_mae(pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> float:
+    """MAE over entries where ``mask`` is nonzero (NaN-safe denominator)."""
+    mask = np.asarray(mask, dtype=np.float64)
+    denom = max(mask.sum(), 1.0)
+    return float((np.abs(np.asarray(pred) - np.asarray(target)) * mask).sum() / denom)
+
+
+def masked_rmse(pred: np.ndarray, target: np.ndarray, mask: np.ndarray) -> float:
+    """RMSE over entries where ``mask`` is nonzero."""
+    mask = np.asarray(mask, dtype=np.float64)
+    denom = max(mask.sum(), 1.0)
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.sqrt((diff * diff * mask).sum() / denom))
+
+
+@dataclass
+class MetricPair:
+    """An (MAE, RMSE) pair — one cell group of the paper's tables."""
+
+    mae: float
+    rmse: float
+
+    def __iter__(self):
+        yield self.mae
+        yield self.rmse
+
+    def __str__(self) -> str:
+        return f"MAE={self.mae:.4f} RMSE={self.rmse:.4f}"
+
+
+def evaluate_horizons(
+    pred: np.ndarray,
+    target: np.ndarray,
+    mask: np.ndarray,
+    horizons: list[int],
+) -> dict[int, MetricPair]:
+    """Cumulative metrics at several horizons.
+
+    ``pred``/``target``/``mask`` are ``(B, T_out, N, D)``; for each
+    ``h`` in ``horizons`` the metrics cover steps ``1..h`` (the paper's
+    "15 min / 30 min / 45 min / 60 min" columns are cumulative windows of
+    3, 6, 9, 12 five-minute steps).
+    """
+    out: dict[int, MetricPair] = {}
+    for h in horizons:
+        if not 1 <= h <= pred.shape[1]:
+            raise ValueError(f"horizon {h} out of range 1..{pred.shape[1]}")
+        out[h] = MetricPair(
+            mae=masked_mae(pred[:, :h], target[:, :h], mask[:, :h]),
+            rmse=masked_rmse(pred[:, :h], target[:, :h], mask[:, :h]),
+        )
+    return out

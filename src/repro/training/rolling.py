@@ -1,0 +1,153 @@
+"""Walk-forward (rolling) forecast evaluation.
+
+The paper's tables score overlapping windows independently; a deployed
+system instead produces one continuous forecast trace: every ``horizon``
+steps it reads the last hour and forecasts the next. This module runs
+that protocol over a dataset split and assembles per-timestamp
+predictions, which is also the right input for operational metrics
+(continuous MAE over a day, worst-hour analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..datasets import TrafficDataset
+from ..models.base import NeuralForecaster
+from .metrics import MetricPair, masked_mae, masked_rmse
+
+__all__ = ["ForecastTrace", "rolling_forecast"]
+
+
+@dataclass
+class ForecastTrace:
+    """A continuous forecast over a series.
+
+    Attributes
+    ----------
+    prediction:
+        ``(T, N, D)`` forecasts in original units; positions never covered
+        by any forecast window hold 0 and are excluded via ``covered``.
+    covered:
+        ``(T,)`` booleans marking timestamps with a forecast.
+    target:
+        ``(T, N, D)`` evaluation target (simulator truth when available,
+        observations otherwise).
+    target_mask:
+        ``(T, N, D)`` validity of the target entries.
+    """
+
+    prediction: np.ndarray
+    covered: np.ndarray
+    target: np.ndarray
+    target_mask: np.ndarray
+
+    def metrics(self, feature: int | None = None) -> MetricPair:
+        """(MAE, RMSE) over covered timestamps (optionally one channel)."""
+        mask = self.target_mask * self.covered[:, None, None]
+        pred, target = self.prediction, self.target
+        if feature is not None:
+            sl = slice(feature, feature + 1)
+            pred, target, mask = pred[..., sl], target[..., sl], mask[..., sl]
+        return MetricPair(
+            mae=masked_mae(pred, target, mask),
+            rmse=masked_rmse(pred, target, mask),
+        )
+
+    def metrics_by_step_of_day(
+        self, steps_of_day: np.ndarray, steps_per_day: int, buckets: int = 24
+    ) -> list[MetricPair]:
+        """MAE/RMSE per time-of-day bucket (e.g. hourly for 288-step days)."""
+        if len(steps_of_day) != len(self.prediction):
+            raise ValueError("steps_of_day must cover the whole trace")
+        per_bucket = steps_per_day // buckets
+        out = []
+        bucket_of = np.asarray(steps_of_day) // per_bucket
+        for b in range(buckets):
+            sel = (bucket_of == b) & self.covered
+            mask = self.target_mask * sel[:, None, None]
+            out.append(
+                MetricPair(
+                    mae=masked_mae(self.prediction, self.target, mask),
+                    rmse=masked_rmse(self.prediction, self.target, mask),
+                )
+            )
+        return out
+
+
+def rolling_forecast(
+    model: NeuralForecaster,
+    dataset: TrafficDataset,
+    scaler=None,
+    refresh_every: int | None = None,
+) -> ForecastTrace:
+    """Run the walk-forward protocol over ``dataset`` (already scaled).
+
+    Every ``refresh_every`` steps (default: the model's output length, so
+    forecasts tile the series without overlap) the model reads the
+    preceding ``input_length`` steps and emits the next ``output_length``.
+
+    ``scaler`` (the fitted training scaler) converts predictions and
+    targets back to original units.
+    """
+    input_length = model.input_length
+    horizon = model.output_length
+    if refresh_every is not None and refresh_every < 1:
+        raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+    refresh = refresh_every if refresh_every is not None else horizon
+    total = dataset.num_steps
+    if total < input_length + horizon:
+        raise ValueError("dataset shorter than one forecast cycle")
+
+    nodes, features = dataset.num_nodes, dataset.num_features
+    pred_sum = np.zeros((total, nodes, model.output_features))
+    pred_count = np.zeros(total)
+
+    starts = range(input_length, total - horizon + 1, refresh)
+    batch_x, batch_m, batch_steps, batch_pos = [], [], [], []
+
+    def flush():
+        if not batch_x:
+            return
+        with no_grad():
+            out = model(
+                np.stack(batch_x), np.stack(batch_m), np.stack(batch_steps)
+            )
+        for pred, pos in zip(out.prediction.data, batch_pos):
+            # pred: (horizon, N, D_out)
+            pred_sum[pos : pos + horizon] += pred
+            pred_count[pos : pos + horizon] += 1.0
+        batch_x.clear()
+        batch_m.clear()
+        batch_steps.clear()
+        batch_pos.clear()
+
+    for t0 in starts:
+        batch_x.append(dataset.data[t0 - input_length : t0])
+        batch_m.append(dataset.mask[t0 - input_length : t0])
+        batch_steps.append(dataset.steps_of_day[t0 - input_length : t0])
+        batch_pos.append(t0)
+        if len(batch_x) == 64:
+            flush()
+    flush()
+
+    covered = pred_count > 0
+    prediction = np.where(
+        covered[:, None, None], pred_sum / np.maximum(pred_count, 1.0)[:, None, None], 0.0
+    )
+    target = dataset.truth if dataset.truth is not None else dataset.data
+    target_mask = (
+        np.ones_like(dataset.data) if dataset.truth is not None else dataset.mask
+    )
+    if scaler is not None:
+        prediction = scaler.inverse_transform(prediction) * covered[:, None, None]
+        target = scaler.inverse_transform(target)
+    return ForecastTrace(
+        prediction=prediction,
+        covered=covered,
+        target=target,
+        target_mask=target_mask,
+    )

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, gradcheck, mae, mse, softmax
+
+SMALL_FLOATS = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=SMALL_FLOATS,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutative(data):
+    a = Tensor(data)
+    b = Tensor(data[::-1].copy().reshape(data.shape))
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_double_negation_identity(data):
+    a = Tensor(data)
+    assert np.allclose((-(-a)).data, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_matches_numpy(data):
+    np.testing.assert_allclose(Tensor(data).sum().item(), data.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_between_min_and_max(data):
+    t = Tensor(data)
+    mean = t.mean().item()
+    assert data.min() - 1e-9 <= mean <= data.max() + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded(data):
+    out = Tensor(data).sigmoid().data
+    assert np.all(out > 0.0) and np.all(out < 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(data):
+    t = Tensor(data)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_rows_sum_to_one(data):
+    out = softmax(Tensor(data), axis=-1).data
+    assert np.allclose(out.sum(axis=-1), 1.0)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_preserves_sum(data):
+    t = Tensor(data)
+    flat = t.reshape(data.size)
+    np.testing.assert_allclose(flat.sum().item(), t.sum().item())
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2, max_side=3))
+def test_gradient_of_sum_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2, max_side=3), st.floats(min_value=0.1, max_value=5.0))
+def test_gradient_linear_in_scale(data, scale):
+    t1 = Tensor(data.copy(), requires_grad=True)
+    (t1 * scale).sum().backward()
+    assert np.allclose(t1.grad, scale)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, (3, 3), elements=st.floats(min_value=-2, max_value=2)),
+)
+def test_tanh_gradcheck_random_inputs(data):
+    t = Tensor(data, requires_grad=True)
+    assert gradcheck(lambda a: a.tanh(), [t])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mse_nonnegative_and_zero_at_identity(data):
+    t = Tensor(data)
+    assert mse(t, data).item() <= 1e-12
+    assert mse(t, data + 1.0).item() >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-3, max_value=3))
+def test_mae_translation(data, shift):
+    t = Tensor(data)
+    np.testing.assert_allclose(mae(t, data + shift).item(), abs(shift), atol=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for road-network generation and the traffic-field simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PEAK_CLUSTERS,
+    TrafficFieldConfig,
+    city_grid,
+    highway_corridor,
+    simulate_traffic_field,
+)
+
+
+class TestHighwayCorridor:
+    def test_basic_shape(self):
+        net = highway_corridor(num_nodes=15, seed=0)
+        assert net.num_nodes == 15
+        assert net.coordinates.shape == (15, 2)
+        assert net.distances.shape == (15, 15)
+
+    def test_distances_are_road_distances(self):
+        """Shortest-path distances: symmetric, zero diagonal, triangle."""
+        net = highway_corridor(num_nodes=10, seed=1)
+        d = net.distances
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+        n = net.num_nodes
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+    def test_connected(self):
+        import networkx as nx
+
+        net = highway_corridor(num_nodes=20, seed=2)
+        assert nx.is_connected(net.graph)
+
+    def test_freeway_metadata(self):
+        net = highway_corridor(num_nodes=8, seed=0)
+        assert (net.speed_limits == 65.0).all()
+        assert (net.traffic_lights == 0).all()
+        assert (net.lanes >= 3).all()
+
+    def test_deterministic(self):
+        a = highway_corridor(num_nodes=10, seed=7)
+        b = highway_corridor(num_nodes=10, seed=7)
+        assert np.allclose(a.coordinates, b.coordinates)
+        assert np.allclose(a.distances, b.distances)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            highway_corridor(num_nodes=1)
+
+
+class TestCityGrid:
+    def test_grid_size(self):
+        net = city_grid(rows=3, cols=4, seed=0)
+        assert net.num_nodes == 12
+
+    def test_urban_metadata(self):
+        net = city_grid(rows=2, cols=3, seed=0)
+        assert set(net.speed_limits).issubset({25.0, 30.0, 35.0})
+        assert (net.lanes <= 2).all()
+        assert (net.traffic_lights <= 3).all()
+
+    def test_grid_adjacent_closer_than_diagonal(self):
+        net = city_grid(rows=3, cols=3, seed=1)
+        # Node 0's grid neighbour (1) is closer than the far corner (8).
+        assert net.distances[0, 1] < net.distances[0, 8]
+
+
+class TestTrafficFieldConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficFieldConfig(num_days=0)
+        with pytest.raises(ValueError):
+            TrafficFieldConfig(peak_congestion=1.0)
+        with pytest.raises(ValueError):
+            TrafficFieldConfig(cluster_names=("martian",))
+
+
+class TestTrafficField:
+    @pytest.fixture(scope="class")
+    def field(self):
+        net = highway_corridor(num_nodes=8, seed=0)
+        cfg = TrafficFieldConfig(num_days=7, steps_per_day=96, seed=0)
+        return simulate_traffic_field(net, cfg)
+
+    def test_shapes(self, field):
+        assert field.speeds.shape == (7 * 96, 8)
+        assert field.congestion.shape == field.speeds.shape
+        assert len(field.clusters) == 8
+
+    def test_speeds_positive(self, field):
+        assert (field.speeds > 0).all()
+
+    def test_congestion_bounded(self, field):
+        assert (field.congestion >= 0).all()
+        assert (field.congestion < 1).all()
+
+    def test_rush_hour_slower_than_night(self, field):
+        hours = field.steps_of_day * 24 / 96
+        weekday = ~np.isin(field.days_of_week, (5, 6))
+        rush = weekday & (np.abs(hours - 8) < 1)
+        night = weekday & ((hours < 4) | (hours > 23))
+        # Use non-flat nodes only.
+        active = [i for i, c in enumerate(field.clusters) if c != "flat"]
+        if active:
+            assert (
+                field.speeds[rush][:, active].mean()
+                < field.speeds[night][:, active].mean()
+            )
+
+    def test_weekend_lighter(self, field):
+        weekend = np.isin(field.days_of_week, (5, 6))
+        assert field.congestion[weekend].mean() < field.congestion[~weekend].mean()
+
+    def test_clusters_valid_names(self, field):
+        assert set(field.clusters).issubset(set(PEAK_CLUSTERS))
+
+    def test_morning_cluster_peaks_in_morning(self):
+        """Force a morning node and verify its daily congestion profile."""
+        net = highway_corridor(num_nodes=4, seed=3)
+        cfg = TrafficFieldConfig(
+            num_days=7, steps_per_day=96, cluster_names=("morning",),
+            spatial_diffusion=0.0, incident_rate_per_day=0.0, noise_std=0.0,
+            seed=3,
+        )
+        field = simulate_traffic_field(net, cfg)
+        hours = field.steps_of_day * 24 / 96
+        weekday = ~np.isin(field.days_of_week, (5, 6))
+        morning = weekday & (np.abs(hours - 8) < 1.5)
+        evening = weekday & (np.abs(hours - 17.5) < 1.5)
+        assert field.congestion[morning].mean() > field.congestion[evening].mean()
+
+    def test_deterministic(self):
+        net = highway_corridor(num_nodes=5, seed=0)
+        cfg = TrafficFieldConfig(num_days=2, steps_per_day=48, seed=11)
+        a = simulate_traffic_field(net, cfg)
+        b = simulate_traffic_field(net, cfg)
+        assert np.allclose(a.speeds, b.speeds)
+
+    def test_steps_and_days_metadata(self, field):
+        assert field.steps_of_day.max() == 95
+        assert field.days_of_week.max() <= 6
+        assert field.num_steps == 7 * 96
+        assert field.num_nodes == 8

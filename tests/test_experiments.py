@@ -1,0 +1,225 @@
+"""Integration tests for the experiment harness (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_MODEL_NAMES,
+    DataConfig,
+    ModelConfig,
+    build_model,
+    default_imputers,
+    default_trainer_config,
+    evaluate_imputer,
+    evaluate_model_imputation,
+    format_metric_table,
+    format_series,
+    is_statistical,
+    prepare_context,
+    run_model,
+    run_table1_horizons,
+    run_table1_missing_rates,
+    run_table2,
+)
+from repro.imputation import MeanImputer
+from repro.models import RecurrentImputationForecaster
+from repro.training import MetricPair, Trainer
+
+TINY_DATA = DataConfig(
+    dataset="pems", num_nodes=5, num_days=3, steps_per_day=96,
+    input_length=6, output_length=4, stride=8, missing_rate=0.4, seed=0,
+)
+TINY_MODEL = ModelConfig(embed_dim=6, hidden_dim=8, num_graphs=2,
+                         partition_downsample=6)
+TINY_TRAINER = default_trainer_config(max_epochs=2, batch_size=32)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return prepare_context(TINY_DATA, TINY_MODEL)
+
+
+class TestPrepareContext:
+    def test_splits_are_scaled(self, ctx):
+        # Train split observed entries should be roughly standardized.
+        observed = ctx.train.mask > 0
+        values = ctx.train.data[observed]
+        assert abs(values.mean()) < 0.3
+        assert 0.5 < values.std() < 1.5
+
+    def test_missing_rate_applied(self, ctx):
+        assert ctx.corrupted.missing_rate == pytest.approx(0.4, abs=0.02)
+
+    def test_windows_built(self, ctx):
+        assert ctx.train_windows.num_windows > 0
+        assert ctx.val_windows.num_windows > 0
+        assert ctx.test_windows.num_windows > 0
+
+    def test_graph_cache(self, ctx):
+        g1 = ctx.graphs(2)
+        g2 = ctx.graphs(2)
+        assert g1 is g2
+        assert g1.num_temporal == 2
+
+    def test_holdout_artifacts(self, ctx):
+        assert ctx.test_holdout_windows is not None
+        assert ctx.holdout_mask_windows is not None
+        # Holdout windows hide strictly more than the plain test windows.
+        assert ctx.test_holdout_windows.m.sum() < ctx.test_windows.m.sum()
+
+    def test_stampede_context(self):
+        cfg = DataConfig(
+            dataset="stampede", num_days=4, steps_per_day=96,
+            input_length=6, output_length=4, stride=8, missing_rate=None,
+        )
+        stamp_ctx = prepare_context(cfg, TINY_MODEL)
+        assert stamp_ctx.num_nodes == 12
+        assert stamp_ctx.corrupted.missing_rate > 0.3
+
+    def test_sensor_missing_kind(self):
+        from dataclasses import replace
+
+        cfg = replace(TINY_DATA, missing_kind="sensor")
+        sensor_ctx = prepare_context(cfg, TINY_MODEL)
+        missing = sensor_ctx.corrupted.mask == 0
+        assert (missing[:, :, 0] == missing[:, :, 1]).all()
+
+    def test_block_missing_kind(self):
+        from dataclasses import replace
+
+        cfg = replace(TINY_DATA, missing_kind="block")
+        block_ctx = prepare_context(cfg, TINY_MODEL)
+        assert block_ctx.corrupted.missing_rate > 0.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DataConfig(dataset="metr-la")
+        with pytest.raises(ValueError):
+            DataConfig(missing_rate=1.5)
+        with pytest.raises(ValueError):
+            DataConfig(missing_kind="adversarial")
+
+
+class TestRegistry:
+    def test_all_models_buildable(self, ctx):
+        for name in ALL_MODEL_NAMES:
+            model = build_model(name, ctx)
+            assert model is not None
+
+    def test_unknown_model(self, ctx):
+        with pytest.raises(KeyError):
+            build_model("TransformerXL", ctx)
+
+    def test_is_statistical(self):
+        assert is_statistical("HA")
+        assert is_statistical("VAR")
+        assert not is_statistical("RIHGCN")
+
+
+class TestRunModel:
+    def test_statistical_model(self, ctx):
+        result = run_model("HA", ctx, horizons=[2, 4])
+        assert set(result.horizon_metrics) == {2, 4}
+        assert result.metric_at(4).mae > 0
+        assert result.epochs == 0
+
+    def test_neural_model(self, ctx):
+        result = run_model("FC-LSTM", ctx, TINY_TRAINER, horizons=[4])
+        assert result.num_parameters > 0
+        assert result.epochs >= 1
+        assert result.metric_at(4).rmse >= result.metric_at(4).mae
+
+    def test_horizons_clamped_to_output_length(self, ctx):
+        result = run_model("HA", ctx, horizons=[2, 400])
+        assert set(result.horizon_metrics) == {2}
+
+    def test_imputation_evaluation_flag(self, ctx):
+        result = run_model(
+            "FC-LSTM-I", ctx, TINY_TRAINER, horizons=[4], evaluate_imputation=True
+        )
+        assert result.imputation is not None
+        assert result.imputation.mae > 0
+
+
+class TestImputationEvaluation:
+    def test_classical_imputer(self, ctx):
+        pair = evaluate_imputer(MeanImputer(), ctx)
+        assert pair.mae > 0
+        assert pair.rmse >= pair.mae
+
+    def test_model_imputation(self, ctx):
+        model = build_model("FC-LSTM-I", ctx)
+        assert isinstance(model, RecurrentImputationForecaster)
+        Trainer(model, TINY_TRAINER).fit(ctx.train_windows, None)
+        pair = evaluate_model_imputation(model, ctx)
+        assert np.isfinite(pair.mae)
+        assert pair.rmse >= pair.mae
+
+    def test_default_imputers_complete(self, ctx):
+        imputers = default_imputers(ctx)
+        assert {"Last", "KNN", "MF", "TD"}.issubset(imputers)
+
+    def test_requires_holdout_context(self):
+        from dataclasses import replace
+
+        cfg = replace(TINY_DATA, imputation_holdout=0.0)
+        bare_ctx = prepare_context(cfg, TINY_MODEL)
+        with pytest.raises(ValueError):
+            evaluate_imputer(MeanImputer(), bare_ctx)
+
+
+class TestTableRunners:
+    def test_table1_missing_rates_structure(self):
+        result = run_table1_missing_rates(
+            models=["HA", "VAR"],
+            missing_rates=[0.2, 0.6],
+            data_config=TINY_DATA,
+            model_config=TINY_MODEL,
+            trainer_config=TINY_TRAINER,
+        )
+        assert result.column_labels == ["20%", "60%"]
+        assert len(result.cells["HA"]) == 2
+        rendered = result.render("t")
+        assert "HA" in rendered and "60%" in rendered
+
+    def test_table1_horizons_structure(self):
+        result = run_table1_horizons(
+            models=["HA"],
+            horizons=[2, 4],
+            data_config=TINY_DATA,
+            model_config=TINY_MODEL,
+            trainer_config=TINY_TRAINER,
+        )
+        assert len(result.cells["HA"]) == 2
+
+    def test_table2_runs_on_stampede(self):
+        result = run_table2(
+            models=["HA"],
+            horizons=[2, 4],
+            data_config=DataConfig(
+                dataset="stampede", num_days=4, steps_per_day=96,
+                input_length=6, output_length=4, stride=8,
+            ),
+            model_config=TINY_MODEL,
+            trainer_config=TINY_TRAINER,
+        )
+        assert len(result.cells["HA"]) == 2
+
+
+class TestFormatting:
+    def test_metric_table_alignment(self):
+        text = format_metric_table(
+            "Title",
+            ["a", "b"],
+            [("m1", [MetricPair(1, 2), MetricPair(3, 4)])],
+        )
+        assert "Title" in text
+        assert "1.0000" in text and "4.0000" in text
+
+    def test_metric_table_validates_row_length(self):
+        with pytest.raises(ValueError):
+            format_metric_table("t", ["a", "b"], [("m", [MetricPair(1, 2)])])
+
+    def test_series_formatting(self):
+        text = format_series("Fig", "x", [1, 2], {"y": [0.5, 0.25]})
+        assert "0.5000" in text and "0.2500" in text

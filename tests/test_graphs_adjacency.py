@@ -1,0 +1,160 @@
+"""Tests for adjacency construction (Eq. 8) and Laplacian utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    add_self_loops,
+    chebyshev_polynomials,
+    gaussian_kernel_adjacency,
+    max_eigenvalue,
+    normalize_adjacency,
+    normalized_laplacian,
+    scaled_laplacian,
+)
+
+
+def ring_adjacency(n: int) -> np.ndarray:
+    adj = np.zeros((n, n))
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+class TestGaussianKernel:
+    def test_basic_properties(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(6, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        adj = gaussian_kernel_adjacency(dist)
+        assert adj.shape == (6, 6)
+        assert np.allclose(adj, adj.T)
+        assert (adj >= 0).all() and (adj <= 1).all()
+        assert np.allclose(np.diag(adj), 0.0)
+
+    def test_epsilon_thresholds(self):
+        dist = np.array([[0.0, 1.0, 100.0],
+                         [1.0, 0.0, 100.0],
+                         [100.0, 100.0, 0.0]])
+        adj = gaussian_kernel_adjacency(dist, epsilon=0.1)
+        assert adj[0, 1] > 0.0
+        assert adj[0, 2] == 0.0  # far pair pruned
+
+    def test_higher_epsilon_sparser(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(10, 2)) * 3
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        sparse = gaussian_kernel_adjacency(dist, epsilon=0.5)
+        dense = gaussian_kernel_adjacency(dist, epsilon=0.01)
+        assert (sparse > 0).sum() <= (dense > 0).sum()
+
+    def test_closer_means_stronger(self):
+        dist = np.array([[0.0, 1.0, 2.0],
+                         [1.0, 0.0, 1.0],
+                         [2.0, 1.0, 0.0]])
+        adj = gaussian_kernel_adjacency(dist, epsilon=0.0001)
+        assert adj[0, 1] > adj[0, 2]
+
+    def test_explicit_sigma(self):
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        adj = gaussian_kernel_adjacency(dist, sigma=1.0, epsilon=0.0)
+        assert adj[0, 1] == pytest.approx(np.exp(-1.0))
+
+    def test_degenerate_equal_distances(self):
+        dist = np.ones((3, 3)) - np.eye(3)
+        adj = gaussian_kernel_adjacency(dist)  # std == 0 path
+        assert np.isfinite(adj).all()
+
+    def test_keep_diagonal_option(self):
+        dist = np.zeros((2, 2))
+        adj = gaussian_kernel_adjacency(dist, zero_diagonal=False)
+        assert adj[0, 0] == pytest.approx(1.0)
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(np.zeros((2, 3)))
+
+
+class TestNormalization:
+    def test_self_loops(self):
+        adj = ring_adjacency(4)
+        looped = add_self_loops(adj, weight=2.0)
+        assert np.allclose(np.diag(looped), 2.0)
+        assert looped is not adj
+
+    def test_normalized_rows_bounded(self):
+        norm = normalize_adjacency(ring_adjacency(5))
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_node_zero_row(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        norm = normalize_adjacency(adj, self_loops=False)
+        assert np.allclose(norm[2], 0.0)
+
+
+class TestLaplacian:
+    def test_normalized_laplacian_psd(self):
+        lap = normalized_laplacian(ring_adjacency(6))
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_constant_vector_in_kernel(self):
+        """For a regular graph, D^{-1/2} 1 is an eigenvector with value 0."""
+        lap = normalized_laplacian(ring_adjacency(6))
+        ones = np.ones(6) / np.sqrt(6)
+        assert np.allclose(lap @ ones, 0.0, atol=1e-12)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            normalized_laplacian(np.zeros((2, 3)))
+
+    def test_scaled_laplacian_spectrum_in_unit_interval(self):
+        scaled = scaled_laplacian(ring_adjacency(8))
+        eigenvalues = np.linalg.eigvalsh(scaled)
+        assert eigenvalues.min() >= -1.0 - 1e-9
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_scaled_laplacian_edgeless_graph(self):
+        scaled = scaled_laplacian(np.zeros((4, 4)))
+        assert np.isfinite(scaled).all()
+
+    def test_max_eigenvalue(self):
+        assert max_eigenvalue(np.diag([1.0, 5.0, 2.0])) == pytest.approx(5.0)
+
+
+class TestChebyshevPolynomials:
+    def test_stack_shape(self):
+        stack = chebyshev_polynomials(ring_adjacency(5), 4)
+        assert stack.shape == (4, 5, 5)
+
+    def test_t0_is_identity(self):
+        stack = chebyshev_polynomials(ring_adjacency(5), 3)
+        assert np.allclose(stack[0], np.eye(5))
+
+    def test_t1_is_scaled_laplacian(self):
+        adj = ring_adjacency(5)
+        stack = chebyshev_polynomials(adj, 3)
+        assert np.allclose(stack[1], scaled_laplacian(adj))
+
+    def test_recurrence(self):
+        adj = ring_adjacency(6)
+        stack = chebyshev_polynomials(adj, 5)
+        lap = scaled_laplacian(adj)
+        for k in range(2, 5):
+            expected = 2.0 * lap @ stack[k - 1] - stack[k - 2]
+            assert np.allclose(stack[k], expected)
+
+    def test_order_one(self):
+        stack = chebyshev_polynomials(ring_adjacency(4), 1)
+        assert stack.shape == (1, 4, 4)
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ValueError):
+            chebyshev_polynomials(ring_adjacency(4), 0)

@@ -1,0 +1,142 @@
+"""Tests for temporal-graph construction and the heterogeneous graph set."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    HeterogeneousGraphSet,
+    TimelinePartition,
+    build_heterogeneous_graphs,
+    build_temporal_graphs,
+    gaussian_kernel_adjacency,
+    PartitionConfig,
+)
+
+
+def clustered_data(steps_per_day=48, days=3):
+    """4 nodes: 0,1 share a morning pattern; 2,3 share an evening pattern."""
+    total = steps_per_day * days
+    steps = np.arange(total) % steps_per_day
+    hours = steps * 24.0 / steps_per_day
+    morning = np.exp(-0.5 * ((hours - 8) / 2.0) ** 2) * 10
+    evening = np.exp(-0.5 * ((hours - 18) / 2.0) ** 2) * 10
+    data = np.zeros((total, 4, 1))
+    data[:, 0, 0] = morning
+    data[:, 1, 0] = morning * 1.05
+    data[:, 2, 0] = evening
+    data[:, 3, 0] = evening * 0.95
+    return data
+
+
+def simple_partition(steps_per_day=48, m=2):
+    bounds = tuple(int(i * steps_per_day / m) for i in range(m))
+    return TimelinePartition(boundaries=bounds, steps_per_day=steps_per_day)
+
+
+class TestBuildTemporalGraphs:
+    def test_one_graph_per_interval(self):
+        data = clustered_data()
+        graphs = build_temporal_graphs(data, None, simple_partition(m=3))
+        assert len(graphs) == 3
+        for g in graphs:
+            assert g.shape == (4, 4)
+            assert np.allclose(g, g.T)
+
+    def test_clusters_connected_in_temporal_graph(self):
+        """Nodes sharing a daily shape must be linked more strongly than
+        nodes with different shapes — the Fig. 3 phenomenon."""
+        data = clustered_data()
+        graphs = build_temporal_graphs(data, None, simple_partition(m=2))
+        for g in graphs:
+            assert g[0, 1] > g[0, 2]
+            assert g[2, 3] > g[1, 2]
+
+    def test_downsample_cap(self):
+        data = clustered_data()
+        graphs = build_temporal_graphs(
+            data, None, simple_partition(m=2), downsample_to=4
+        )
+        assert len(graphs) == 2  # runs without error on tiny series
+
+    def test_works_with_mask(self):
+        data = clustered_data()
+        rng = np.random.default_rng(0)
+        mask = (rng.random(data.shape) > 0.4).astype(float)
+        graphs = build_temporal_graphs(data * mask, mask, simple_partition(m=2))
+        assert all(np.isfinite(g).all() for g in graphs)
+
+
+class TestHeterogeneousGraphSet:
+    def _set(self, m=2):
+        data = clustered_data()
+        partition = simple_partition(m=m)
+        temporal = build_temporal_graphs(data, None, partition)
+        geo = gaussian_kernel_adjacency(
+            np.abs(np.subtract.outer(np.arange(4.0), np.arange(4.0)))
+        )
+        return HeterogeneousGraphSet(geographic=geo, temporal=temporal,
+                                     partition=partition)
+
+    def test_counts(self):
+        hg = self._set(m=3)
+        assert hg.num_nodes == 4
+        assert hg.num_temporal == 3
+        assert len(hg.all_adjacencies()) == 4
+
+    def test_cheb_stacks(self):
+        hg = self._set()
+        stacks = hg.cheb_stacks(order=3)
+        assert len(stacks) == 3  # geo + 2 temporal
+        assert all(s.shape == (3, 4, 4) for s in stacks)
+
+    def test_interval_weights_shape(self):
+        hg = self._set(m=2)
+        w = hg.interval_weights(np.array([0, 10, 30, 47]))
+        assert w.shape == (4, 2)
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_interval_weights_cached(self):
+        hg = self._set(m=2)
+        w1 = hg.interval_weights(np.array([5]))
+        w2 = hg.interval_weights(np.array([5]))
+        assert np.allclose(w1, w2)
+        assert 5 in hg._weight_cache
+
+    def test_mismatched_temporal_count_raises(self):
+        data = clustered_data()
+        partition = simple_partition(m=3)
+        temporal = build_temporal_graphs(data, None, simple_partition(m=2))
+        geo = np.ones((4, 4)) - np.eye(4)
+        with pytest.raises(ValueError):
+            HeterogeneousGraphSet(geographic=geo, temporal=temporal,
+                                  partition=partition)
+
+    def test_mismatched_node_count_raises(self):
+        partition = simple_partition(m=1 + 1)
+        with pytest.raises(ValueError):
+            HeterogeneousGraphSet(
+                geographic=np.zeros((4, 4)),
+                temporal=[np.zeros((5, 5)), np.zeros((5, 5))],
+                partition=partition,
+            )
+
+
+class TestEndToEndBuilder:
+    def test_build_heterogeneous_graphs(self):
+        data = clustered_data()
+        distances = np.abs(np.subtract.outer(np.arange(4.0), np.arange(4.0)))
+        hg = build_heterogeneous_graphs(
+            data, None, distances, steps_per_day=48, num_intervals=3,
+            partition_config=PartitionConfig(num_intervals=3, downsample_to=6),
+        )
+        assert hg.num_temporal == 3
+        assert hg.geographic.shape == (4, 4)
+
+    def test_interval_count_mismatch_raises(self):
+        data = clustered_data()
+        distances = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            build_heterogeneous_graphs(
+                data, None, distances, steps_per_day=48, num_intervals=3,
+                partition_config=PartitionConfig(num_intervals=4),
+            )

@@ -1,0 +1,187 @@
+"""Tests for the timeline partitioner (Eq. 2) and daily profiles."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    PartitionConfig,
+    TimelinePartition,
+    TimelinePartitioner,
+    daily_profile,
+)
+
+
+def two_regime_data(steps_per_day=48, days=4, nodes=3):
+    """Day with a distinct busy block (hours 8-16) vs quiet elsewhere."""
+    total = steps_per_day * days
+    data = np.zeros((total, nodes, 1))
+    steps = np.arange(total) % steps_per_day
+    hours = steps * 24 / steps_per_day
+    busy = (hours >= 8) & (hours < 16)
+    data[busy] = 10.0
+    return data
+
+
+class TestDailyProfile:
+    def test_shape(self):
+        data = two_regime_data()
+        profile = daily_profile(data, None, 48)
+        assert profile.shape == (48, 3, 1)
+
+    def test_averages_days(self):
+        steps_per_day = 24
+        data = np.zeros((48, 2, 1))
+        data[:24] = 1.0
+        data[24:] = 3.0
+        profile = daily_profile(data, None, steps_per_day)
+        assert np.allclose(profile, 2.0)
+
+    def test_missing_aware(self):
+        data = np.zeros((48, 1, 1))
+        data[:24] = 5.0  # day one observed
+        mask = np.zeros_like(data)
+        mask[:24] = 1.0  # day two missing
+        profile = daily_profile(data, mask, 24)
+        assert np.allclose(profile, 5.0)
+
+    def test_never_observed_slot_falls_back_to_global_mean(self):
+        data = np.full((48, 1, 1), 7.0)
+        mask = np.ones_like(data)
+        mask[0] = mask[24] = 0.0  # slot 0 never observed
+        profile = daily_profile(data, mask, 24)
+        assert profile[0, 0, 0] == pytest.approx(7.0)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            daily_profile(np.zeros((10, 3)), None, 5)
+
+
+class TestPartitionConfig:
+    def test_rejects_single_interval(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(num_intervals=1)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(gamma=0.0)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(eta=0.0)
+
+
+class TestTimelinePartition:
+    def _partition(self):
+        return TimelinePartition(boundaries=(0, 12, 24, 36), steps_per_day=48)
+
+    def test_intervals(self):
+        part = self._partition()
+        assert part.intervals == [(0, 12), (12, 24), (24, 36), (36, 48)]
+        assert part.num_intervals == 4
+
+    def test_interval_of(self):
+        part = self._partition()
+        assert part.interval_of(0) == 0
+        assert part.interval_of(12) == 1
+        assert part.interval_of(47) == 3
+        assert part.interval_of(48) == 0  # wraps to next day
+
+    def test_hard_weights_one_hot(self):
+        part = self._partition()
+        w = part.membership_weights(np.array([0, 13, 40]), mode="hard")
+        assert w.shape == (3, 4)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert w[1, 1] == 1.0
+
+    def test_soft_weights_normalized(self):
+        part = self._partition()
+        w = part.membership_weights(np.arange(48), mode="soft")
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert (w > 0).all()
+
+    def test_soft_weights_peak_at_own_interval(self):
+        part = self._partition()
+        w = part.membership_weights(np.array([6]), mode="soft")  # center of interval 0
+        assert np.argmax(w[0]) == 0
+
+    def test_soft_circular_wrap(self):
+        part = self._partition()
+        # Step 47 is adjacent (circularly) to interval 0's start.
+        w = part.membership_weights(np.array([47]), mode="soft")
+        assert w[0, 0] > w[0, 1]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            self._partition().membership_weights(np.array([0]), mode="fuzzy")
+
+
+class TestTimelinePartitioner:
+    def test_finds_regime_boundary(self):
+        """The optimizer should place splits near the 8h/16h regime edges."""
+        data = two_regime_data()
+        config = PartitionConfig(num_intervals=3, downsample_to=8)
+        partition = TimelinePartitioner(config).fit(data, None, steps_per_day=48)
+        hours = [b * 24 / 48 for b in partition.boundaries]
+        assert hours[0] == 0
+        # One boundary near 8h, one near 16h (within 2 hours).
+        assert min(abs(h - 8) for h in hours[1:]) <= 2.0
+        assert min(abs(h - 16) for h in hours[1:]) <= 2.0
+
+    def test_respects_constraint_lengths(self):
+        data = two_regime_data()
+        config = PartitionConfig(num_intervals=4, q_factor=2.0, gamma=0.5,
+                                 downsample_to=6)
+        partition = TimelinePartitioner(config).fit(data, None, steps_per_day=48)
+        lengths = [end - start for start, end in partition.intervals]
+        assert min(lengths) >= 48 * 1.0 / 24  # >= 1 hour
+        assert max(lengths) <= 48 * 0.5  # gamma: <= 50% of the day
+
+    def test_boundaries_sorted_and_start_at_zero(self):
+        data = two_regime_data()
+        partition = TimelinePartitioner(
+            PartitionConfig(num_intervals=3, downsample_to=6)
+        ).fit(data, None, 48)
+        bounds = partition.boundaries
+        assert bounds[0] == 0
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_score_positive_for_structured_data(self):
+        data = two_regime_data()
+        partition = TimelinePartitioner(
+            PartitionConfig(num_intervals=3, downsample_to=6)
+        ).fit(data, None, 48)
+        assert partition.score > 0
+
+    def test_deterministic(self):
+        data = two_regime_data()
+        cfg = PartitionConfig(num_intervals=3, downsample_to=6)
+        p1 = TimelinePartitioner(cfg).fit(data, None, 48)
+        p2 = TimelinePartitioner(cfg).fit(data, None, 48)
+        assert p1.boundaries == p2.boundaries
+
+    def test_beam_search_path(self):
+        """Large M forces beam search; result must still be feasible."""
+        data = two_regime_data()
+        cfg = PartitionConfig(
+            num_intervals=8, downsample_to=4, exhaustive_limit=10,
+            beam_width=8, beam_iterations=30,
+        )
+        partition = TimelinePartitioner(cfg).fit(data, None, 48)
+        assert partition.num_intervals == 8
+        lengths = [e - s for s, e in partition.intervals]
+        assert min(lengths) >= 1
+
+    def test_infeasible_constraints_raise(self):
+        data = two_regime_data()
+        cfg = PartitionConfig(num_intervals=2, gamma=0.3)  # 2 x 30% < 100%
+        with pytest.raises(ValueError):
+            TimelinePartitioner(cfg).fit(data, None, 48)
+
+    def test_works_with_missing_data(self):
+        data = two_regime_data()
+        rng = np.random.default_rng(0)
+        mask = (rng.random(data.shape) > 0.5).astype(float)
+        partition = TimelinePartitioner(
+            PartitionConfig(num_intervals=3, downsample_to=6)
+        ).fit(data * mask, mask, 48)
+        assert partition.num_intervals == 3

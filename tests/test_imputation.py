@@ -1,0 +1,230 @@
+"""Tests for the classical imputers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import make_pems_dataset, mcar_mask
+from repro.imputation import (
+    KNNImputer,
+    LastObservedImputer,
+    LinearInterpolationImputer,
+    MatrixFactorizationImputer,
+    MeanImputer,
+    TensorDecompositionImputer,
+    check_inputs,
+)
+from repro.training import masked_mae
+
+ALL_IMPUTERS = [
+    MeanImputer(),
+    LastObservedImputer(),
+    LinearInterpolationImputer(),
+    KNNImputer(k=2, min_overlap=3),
+    MatrixFactorizationImputer(rank=3, iterations=5),
+    TensorDecompositionImputer(rank=2, steps_per_day=24, iterations=5),
+]
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    rng = np.random.default_rng(0)
+    total, nodes, features = 72, 5, 2
+    t = np.arange(total)
+    base = 10 + 3 * np.sin(2 * np.pi * t / 24)
+    data = np.stack(
+        [base + i for i in range(nodes)], axis=1
+    )[:, :, None].repeat(features, axis=2)
+    data += rng.normal(0, 0.1, size=data.shape)
+    mask = mcar_mask(data.shape, 0.3, rng)
+    return data, mask
+
+
+class TestContract:
+    @pytest.mark.parametrize("imputer", ALL_IMPUTERS, ids=lambda i: type(i).__name__)
+    def test_observed_entries_unchanged(self, imputer, small_case):
+        data, mask = small_case
+        filled = imputer(data * mask, mask)
+        assert np.allclose(filled[mask == 1], data[mask == 1])
+
+    @pytest.mark.parametrize("imputer", ALL_IMPUTERS, ids=lambda i: type(i).__name__)
+    def test_output_finite_and_shaped(self, imputer, small_case):
+        data, mask = small_case
+        filled = imputer(data * mask, mask)
+        assert filled.shape == data.shape
+        assert np.isfinite(filled).all()
+
+    @pytest.mark.parametrize("imputer", ALL_IMPUTERS, ids=lambda i: type(i).__name__)
+    def test_beats_zero_fill(self, imputer, small_case):
+        """Any sensible imputer beats leaving zeros on this smooth signal."""
+        data, mask = small_case
+        filled = imputer(data * mask, mask)
+        holdout = 1.0 - mask
+        err = masked_mae(filled, data, holdout)
+        zero_err = masked_mae(np.zeros_like(data), data, holdout)
+        assert err < zero_err
+
+    def test_check_inputs_validation(self):
+        with pytest.raises(ValueError):
+            check_inputs(np.zeros((3, 3)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            check_inputs(np.zeros((3, 3, 1)), np.zeros((3, 3, 2)))
+        with pytest.raises(ValueError):
+            check_inputs(np.zeros((3, 3, 1)), np.full((3, 3, 1), 0.5))
+
+
+class TestMeanImputer:
+    def test_fills_series_mean(self):
+        data = np.zeros((4, 1, 1))
+        data[:2, 0, 0] = [2.0, 4.0]
+        mask = np.zeros_like(data)
+        mask[:2] = 1.0
+        filled = MeanImputer()(data, mask)
+        assert np.allclose(filled[2:, 0, 0], 3.0)
+
+    def test_unobserved_series_uses_feature_mean(self):
+        data = np.zeros((4, 2, 1))
+        data[:, 0, 0] = 5.0
+        mask = np.zeros_like(data)
+        mask[:, 0] = 1.0  # node 1 never observed
+        filled = MeanImputer()(data, mask)
+        assert np.allclose(filled[:, 1, 0], 5.0)
+
+    def test_fully_missing_feature_falls_back_to_zero(self):
+        data = np.zeros((4, 2, 1))
+        mask = np.zeros_like(data)
+        filled = MeanImputer()(data, mask)
+        assert np.allclose(filled, 0.0)
+
+
+class TestLastObserved:
+    def test_forward_fill(self):
+        data = np.array([1.0, 0.0, 0.0, 4.0]).reshape(4, 1, 1)
+        mask = np.array([1.0, 0.0, 0.0, 1.0]).reshape(4, 1, 1)
+        filled = LastObservedImputer()(data, mask)
+        assert np.allclose(filled[:, 0, 0], [1.0, 1.0, 1.0, 4.0])
+
+    def test_leading_gap_backfilled(self):
+        data = np.array([0.0, 0.0, 7.0]).reshape(3, 1, 1)
+        mask = np.array([0.0, 0.0, 1.0]).reshape(3, 1, 1)
+        filled = LastObservedImputer()(data, mask)
+        assert np.allclose(filled[:, 0, 0], 7.0)
+
+    def test_fully_missing_series_zero(self):
+        data = np.zeros((3, 1, 1))
+        mask = np.zeros_like(data)
+        assert np.allclose(LastObservedImputer()(data, mask), 0.0)
+
+
+class TestLinearInterpolation:
+    def test_interpolates_gap(self):
+        data = np.array([0.0, 0.0, 4.0]).reshape(3, 1, 1)
+        data[0] = 2.0
+        mask = np.array([1.0, 0.0, 1.0]).reshape(3, 1, 1)
+        filled = LinearInterpolationImputer()(data, mask)
+        assert filled[1, 0, 0] == pytest.approx(3.0)
+
+    def test_edges_extend(self):
+        data = np.array([0.0, 5.0, 0.0]).reshape(3, 1, 1)
+        mask = np.array([0.0, 1.0, 0.0]).reshape(3, 1, 1)
+        filled = LinearInterpolationImputer()(data, mask)
+        assert np.allclose(filled[:, 0, 0], 5.0)
+
+    def test_exact_on_linear_signal(self):
+        t = np.arange(20.0)
+        data = (2 * t + 1).reshape(20, 1, 1)
+        mask = np.ones_like(data)
+        mask[5:15:2] = 0.0
+        filled = LinearInterpolationImputer()(data * mask, mask)
+        assert np.allclose(filled, data)
+
+
+class TestKNN:
+    def test_uses_correlated_neighbour(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=50)
+        data = np.stack([base, base + 0.01 * rng.normal(size=50)], axis=1)[:, :, None]
+        mask = np.ones_like(data)
+        mask[10, 0, 0] = 0.0
+        filled = KNNImputer(k=1, min_overlap=5)(data * mask, mask)
+        assert filled[10, 0, 0] == pytest.approx(data[10, 1, 0], abs=0.1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNImputer(k=0)
+
+    def test_no_neighbours_falls_back_to_mean(self):
+        rng = np.random.default_rng(1)
+        # Independent noise: correlations are ~0 and overlap tiny.
+        data = rng.normal(size=(8, 3, 1))
+        mask = np.ones_like(data)
+        mask[0, 0, 0] = 0.0
+        filled = KNNImputer(k=2, min_overlap=100)(data * mask, mask)
+        assert np.isfinite(filled).all()
+
+
+class TestMatrixFactorization:
+    def test_recovers_low_rank(self):
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=(40, 2))
+        v = rng.normal(size=(8, 2))
+        data = (u @ v.T)[:, :, None]
+        mask = mcar_mask(data.shape, 0.3, rng)
+        imputer = MatrixFactorizationImputer(rank=2, reg=0.01, iterations=30)
+        filled = imputer(data * mask, mask)
+        holdout = 1.0 - mask
+        err = masked_mae(filled, data, holdout)
+        assert err < 0.3
+
+    def test_fully_missing_channel(self):
+        data = np.zeros((10, 3, 1))
+        mask = np.zeros_like(data)
+        filled = MatrixFactorizationImputer(rank=2)(data, mask)
+        assert np.allclose(filled, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatrixFactorizationImputer(rank=0)
+        with pytest.raises(ValueError):
+            MatrixFactorizationImputer(iterations=0)
+
+
+class TestTensorDecomposition:
+    def test_exploits_daily_periodicity(self):
+        """A perfectly periodic signal is rank-1 in the (day, slot) folding."""
+        days, spd, nodes = 6, 24, 4
+        slot_profile = np.sin(2 * np.pi * np.arange(spd) / spd) * 5 + 10
+        data = np.tile(slot_profile, days)[:, None, None].repeat(nodes, axis=1)
+        rng = np.random.default_rng(0)
+        mask = mcar_mask(data.shape, 0.4, rng)
+        imputer = TensorDecompositionImputer(rank=2, steps_per_day=spd,
+                                             iterations=25, reg=0.01)
+        filled = imputer(data * mask, mask)
+        err = masked_mae(filled, data, 1.0 - mask)
+        assert err < 1.0
+
+    def test_partial_final_day(self):
+        """T not divisible by steps_per_day must still work (padding)."""
+        data = np.random.default_rng(0).normal(10, 1, size=(30, 2, 1))
+        mask = mcar_mask(data.shape, 0.3, np.random.default_rng(1))
+        imputer = TensorDecompositionImputer(rank=2, steps_per_day=24, iterations=5)
+        filled = imputer(data * mask, mask)
+        assert filled.shape == data.shape
+        assert np.isfinite(filled).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensorDecompositionImputer(rank=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=0.1, max_value=0.7))
+def test_property_simple_imputers_respect_contract(rate):
+    rng = np.random.default_rng(3)
+    data = rng.normal(20, 5, size=(40, 4, 2))
+    mask = mcar_mask(data.shape, rate, rng)
+    for imputer in (MeanImputer(), LastObservedImputer(),
+                    LinearInterpolationImputer()):
+        filled = imputer(data * mask, mask)
+        assert np.allclose(filled[mask == 1], data[mask == 1])
+        assert np.isfinite(filled).all()

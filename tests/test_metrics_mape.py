@@ -1,0 +1,55 @@
+"""Tests for the MAPE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import mape, masked_mape
+
+
+class TestMape:
+    def test_basic_value(self):
+        pred = np.array([110.0, 90.0])
+        target = np.array([100.0, 100.0])
+        assert mape(pred, target) == pytest.approx(10.0)
+
+    def test_zero_targets_excluded(self):
+        pred = np.array([1.0, 5.0])
+        target = np.array([0.0, 10.0])
+        assert mape(pred, target) == pytest.approx(50.0)
+
+    def test_all_zero_targets_safe(self):
+        assert mape(np.ones(3), np.zeros(3)) == 0.0
+
+    def test_perfect_prediction(self):
+        target = np.array([10.0, 20.0])
+        assert mape(target, target) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        pred = np.array([11.0, 22.0])
+        target = np.array([10.0, 20.0])
+        assert mape(pred, target) == pytest.approx(mape(pred * 7, target * 7))
+
+
+class TestMaskedMape:
+    def test_masked_entries_excluded(self):
+        pred = np.array([110.0, 999.0])
+        target = np.array([100.0, 100.0])
+        mask = np.array([1.0, 0.0])
+        assert masked_mape(pred, target, mask) == pytest.approx(10.0)
+
+    def test_mask_and_zero_target_combined(self):
+        pred = np.array([110.0, 5.0, 999.0])
+        target = np.array([100.0, 0.0, 100.0])
+        mask = np.array([1.0, 1.0, 0.0])
+        assert masked_mape(pred, target, mask) == pytest.approx(10.0)
+
+    def test_empty_valid_set_safe(self):
+        assert masked_mape(np.ones(2), np.ones(2), np.zeros(2)) == 0.0
+
+    def test_matches_unmasked_on_full_mask(self):
+        rng = np.random.default_rng(0)
+        pred = rng.uniform(50, 70, 20)
+        target = rng.uniform(50, 70, 20)
+        assert masked_mape(pred, target, np.ones(20)) == pytest.approx(
+            mape(pred, target)
+        )

@@ -1,0 +1,194 @@
+"""Tests for graph convolutions, temporal convolutions and attention."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.graphs import chebyshev_polynomials
+from repro.nn import (
+    AdaptiveGraphConv,
+    CausalConv1d,
+    ChebConv,
+    GatedTCNBlock,
+    GraphConv,
+    SpatialAttention,
+    TemporalAttention,
+)
+
+
+def ring_adjacency(n: int) -> np.ndarray:
+    adj = np.zeros((n, n))
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+class TestChebConv:
+    def setup_method(self):
+        self.n = 6
+        self.cheb = chebyshev_polynomials(ring_adjacency(self.n), 3)
+
+    def test_shapes_batched(self):
+        conv = ChebConv(4, 8, self.cheb, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((5, self.n, 4))))
+        assert out.shape == (5, self.n, 8)
+
+    def test_shapes_unbatched(self):
+        conv = ChebConv(4, 8, self.cheb, rng=np.random.default_rng(0))
+        assert conv(Tensor(np.zeros((self.n, 4)))).shape == (self.n, 8)
+
+    def test_rejects_bad_stack(self):
+        with pytest.raises(ValueError):
+            ChebConv(4, 8, np.zeros((3, 5, 6)))
+
+    def test_rejects_node_mismatch(self):
+        conv = ChebConv(4, 8, self.cheb, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((2, self.n + 1, 4))))
+
+    def test_k1_is_pointwise(self):
+        """With K=1 the stack is just the identity: no spatial mixing."""
+        cheb1 = chebyshev_polynomials(ring_adjacency(self.n), 1)
+        conv = ChebConv(2, 2, cheb1, rng=np.random.default_rng(0))
+        x = np.zeros((1, self.n, 2))
+        x[0, 0] = [1.0, -1.0]
+        out = conv(Tensor(x)).data - conv.bias.data
+        # Only node 0 deviates from the bias-only output.
+        assert np.allclose(out[0, 1:], 0.0, atol=1e-12)
+
+    def test_k2_mixes_neighbours(self):
+        conv = ChebConv(1, 1, self.cheb, rng=np.random.default_rng(1))
+        x = np.zeros((1, self.n, 1))
+        x[0, 0, 0] = 1.0
+        out = conv(Tensor(x)).data - conv.bias.data
+        assert abs(out[0, 1, 0]) > 1e-8  # neighbour received signal
+
+    def test_gradcheck(self):
+        conv = ChebConv(2, 3, self.cheb, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(2, self.n, 2)),
+                   requires_grad=True)
+        assert gradcheck(lambda x: conv(x), [x])
+
+    def test_parameters_receive_grads(self):
+        conv = ChebConv(2, 3, self.cheb, rng=np.random.default_rng(2))
+        conv(Tensor(np.ones((1, self.n, 2)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestGraphConv:
+    def test_shapes(self):
+        from repro.graphs import normalize_adjacency
+
+        prop = normalize_adjacency(ring_adjacency(5))
+        conv = GraphConv(3, 4, prop, rng=np.random.default_rng(0))
+        assert conv(Tensor(np.zeros((2, 5, 3)))).shape == (2, 5, 4)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            GraphConv(3, 4, np.zeros((4, 5)))
+
+
+class TestAdaptiveGraphConv:
+    def test_shapes(self):
+        conv = AdaptiveGraphConv(3, 5, num_nodes=6, rng=np.random.default_rng(0))
+        assert conv(Tensor(np.zeros((2, 6, 3)))).shape == (2, 6, 5)
+
+    def test_adjacency_rows_sum_to_one(self):
+        conv = AdaptiveGraphConv(3, 5, num_nodes=6, rng=np.random.default_rng(0))
+        adj = conv.adaptive_adjacency().data
+        assert np.allclose(adj.sum(axis=-1), 1.0)
+
+    def test_fixed_support_adds_parameters(self):
+        base = AdaptiveGraphConv(3, 5, 6, rng=np.random.default_rng(0))
+        with_fixed = AdaptiveGraphConv(
+            3, 5, 6, fixed_support=ring_adjacency(6), rng=np.random.default_rng(0)
+        )
+        assert with_fixed.weight.size > base.weight.size
+
+    def test_embeddings_trainable(self):
+        conv = AdaptiveGraphConv(2, 2, 4, rng=np.random.default_rng(1))
+        conv(Tensor(np.ones((1, 4, 2)))).sum().backward()
+        assert conv.source_embed.grad is not None
+        assert conv.target_embed.grad is not None
+
+
+class TestCausalConv1d:
+    def test_preserves_time_length(self):
+        conv = CausalConv1d(3, 5, kernel_size=2, rng=np.random.default_rng(0))
+        assert conv(Tensor(np.zeros((2, 7, 3)))).shape == (2, 7, 5)
+
+    def test_extra_leading_axes(self):
+        conv = CausalConv1d(3, 5, kernel_size=3, dilation=2,
+                            rng=np.random.default_rng(0))
+        assert conv(Tensor(np.zeros((2, 4, 7, 3)))).shape == (2, 4, 7, 5)
+
+    def test_causality(self):
+        """Output at t must not depend on inputs after t."""
+        conv = CausalConv1d(1, 1, kernel_size=3, dilation=1,
+                            rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 10, 1))
+        out1 = conv(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 7:] += 100.0  # perturb the future
+        out2 = conv(Tensor(x2)).data
+        assert np.allclose(out1[0, :7], out2[0, :7])
+
+    def test_receptive_field(self):
+        conv = CausalConv1d(1, 1, kernel_size=2, dilation=4)
+        assert conv.receptive_field == 5
+
+    def test_kernel_one_is_pointwise(self):
+        conv = CausalConv1d(2, 2, kernel_size=1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 5, 2))
+        out = conv(Tensor(x)).data
+        expected = x @ conv.taps[0].data + conv.bias.data
+        assert np.allclose(out, expected)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CausalConv1d(1, 1, kernel_size=0)
+        with pytest.raises(ValueError):
+            CausalConv1d(1, 1, dilation=0)
+
+    def test_gradcheck(self):
+        conv = CausalConv1d(2, 2, kernel_size=2, rng=np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 4, 2)),
+                   requires_grad=True)
+        assert gradcheck(lambda x: conv(x), [x])
+
+
+class TestGatedTCNBlock:
+    def test_shape_preserved(self):
+        block = GatedTCNBlock(4, 4, rng=np.random.default_rng(0))
+        assert block(Tensor(np.zeros((2, 6, 4)))).shape == (2, 6, 4)
+
+    def test_channel_change_uses_residual_projection(self):
+        block = GatedTCNBlock(4, 8, rng=np.random.default_rng(0))
+        assert block.residual is not None
+        assert block(Tensor(np.zeros((2, 6, 4)))).shape == (2, 6, 8)
+
+    def test_same_channels_no_projection(self):
+        block = GatedTCNBlock(4, 4, rng=np.random.default_rng(0))
+        assert block.residual is None
+
+
+class TestAttention:
+    def test_spatial_attention_shape_and_rows(self):
+        att = SpatialAttention(5, 3, 7, rng=np.random.default_rng(0))
+        out = att(Tensor(np.random.default_rng(1).normal(size=(2, 5, 7, 3))))
+        assert out.shape == (2, 5, 5)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_temporal_attention_shape_and_rows(self):
+        att = TemporalAttention(5, 3, 7, rng=np.random.default_rng(0))
+        out = att(Tensor(np.random.default_rng(1).normal(size=(2, 5, 7, 3))))
+        assert out.shape == (2, 7, 7)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_attention_parameters_trainable(self):
+        att = SpatialAttention(4, 2, 3, rng=np.random.default_rng(0))
+        att(Tensor(np.random.default_rng(1).normal(size=(1, 4, 3, 2)))).sum().backward()
+        grads = [p.grad is not None for _n, p in att.named_parameters()]
+        assert any(grads)

@@ -1,0 +1,214 @@
+"""Unit tests for Module mechanics, Linear/MLP, activations, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import (
+    MLP,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+
+class TestModuleMechanics:
+    def test_parameters_discovered(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameters(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng=np.random.default_rng(0))
+                self.b = Linear(3, 1, rng=np.random.default_rng(1))
+
+        names = {n for n, _ in Net().named_parameters()}
+        assert names == {"a.weight", "a.bias", "b.weight", "b.bias"}
+
+    def test_shared_parameter_yielded_once(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, rng=np.random.default_rng(0))
+                self.b = self.a  # shared module
+
+        assert len(list(Net().parameters())) == 2
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 4, rng=np.random.default_rng(0))
+        b = Linear(3, 4, rng=np.random.default_rng(9))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.allclose(layer.weight.data, 99.0)
+
+    def test_repr_contains_children(self):
+        net = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        assert "Linear" in repr(net)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_leading_batch_axes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.zeros((2, 4, 5)))).shape == (2, 4, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_exact_affine(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        layer.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer(Tensor([[3.0, 4.0]]))
+        assert np.allclose(out.data, [[4.0, 7.0]])
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert np.allclose(layer.bias.grad, 4.0)
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP([4, 8, 2], rng=np.random.default_rng(0))
+        assert mlp(Tensor(np.zeros((5, 4)))).shape == (5, 2)
+
+    def test_rejects_single_size(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_hidden_activation_applied(self):
+        mlp = MLP([2, 2, 1], rng=np.random.default_rng(0))
+        for layer in mlp.layers:
+            layer.weight.data = -np.ones_like(layer.weight.data)
+            layer.bias.data = np.zeros_like(layer.bias.data)
+        # relu between layers zeroes negative intermediates -> output 0.
+        out = mlp(Tensor([[1.0, 1.0]]))
+        assert np.allclose(out.data, 0.0)
+
+
+class TestActivations:
+    def test_relu_module(self):
+        assert np.allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        assert np.allclose(Tanh()(Tensor([0.0])).data, [0.0])
+
+    def test_sigmoid_module(self):
+        assert np.allclose(Sigmoid()(Tensor([0.0])).data, [0.5])
+
+    def test_leaky_relu(self):
+        out = LeakyReLU(0.1)(Tensor([-10.0, 10.0]))
+        assert np.allclose(out.data, [-1.0, 10.0])
+
+    def test_softmax_module(self):
+        out = Softmax(axis=-1)(Tensor([[1.0, 1.0]]))
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(np.ones((100,)))
+        assert np.allclose(drop(x).data, 1.0)
+
+    def test_train_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((10000,)))).data
+        zero_fraction = (out == 0).mean()
+        assert 0.45 < zero_fraction < 0.55
+        # Survivors are scaled by 1/(1-p) = 2.
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_expected_value_preserved(self):
+        drop = Dropout(0.3, rng=np.random.default_rng(1))
+        out = drop(Tensor(np.ones((50000,)))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_probability_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(np.ones((5,)))
+        assert drop(x) is x
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 3, rng=rng), ReLU(), Linear(3, 1, rng=rng))
+        assert net(Tensor(np.zeros((4, 2)))).shape == (4, 1)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_sequential_registers_parameters(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 3, rng=rng), Linear(3, 1, rng=rng))
+        assert len(list(net.parameters())) == 4
+
+    def test_module_list_indexing_and_iter(self):
+        rng = np.random.default_rng(0)
+        ml = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(iter(ml))) == 3
+        assert len(list(ml.parameters())) == 6
+
+    def test_module_list_has_no_forward(self):
+        ml = ModuleList()
+        with pytest.raises(RuntimeError):
+            ml(Tensor([1.0]))

@@ -1,0 +1,124 @@
+"""Tests for LSTM/GRU cells and sequence wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.nn import GRUCell, LSTM, LSTMCell
+
+
+class TestLSTMCell:
+    def setup_method(self):
+        self.cell = LSTMCell(4, 6, rng=np.random.default_rng(0))
+
+    def test_output_shapes(self):
+        h, c = self.cell(Tensor(np.zeros((3, 4))))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            self.cell(Tensor(np.zeros((3, 4, 5))))
+
+    def test_state_threading_changes_output(self):
+        x = Tensor(np.ones((2, 4)))
+        h1, c1 = self.cell(x)
+        h2, _ = self.cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_forget_bias_initialized_to_one(self):
+        hidden = self.cell.hidden_size
+        assert np.allclose(self.cell.bias.data[hidden : 2 * hidden], 1.0)
+
+    def test_hidden_bounded_by_tanh(self):
+        h, _ = self.cell(Tensor(np.random.default_rng(1).normal(size=(5, 4)) * 10))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_gradcheck_through_cell(self):
+        cell = LSTMCell(3, 4, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3)), requires_grad=True)
+
+        def fn(x):
+            h, c = cell(x)
+            return h + c
+
+        assert gradcheck(fn, [x])
+
+    def test_gradients_reach_all_parameters(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)))
+        h, c = self.cell(x)
+        (h.sum() + c.sum()).backward()
+        for name, param in self.cell.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_deterministic_given_seed(self):
+        a = LSTMCell(4, 6, rng=np.random.default_rng(42))
+        b = LSTMCell(4, 6, rng=np.random.default_rng(42))
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(a(x)[0].data, b(x)[0].data)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 5, rng=np.random.default_rng(0))
+        assert cell(Tensor(np.zeros((3, 4)))).shape == (3, 5)
+
+    def test_zero_input_zero_state_stays_bounded(self):
+        cell = GRUCell(4, 5, rng=np.random.default_rng(0))
+        h = cell(Tensor(np.zeros((1, 4))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_state_threading(self):
+        cell = GRUCell(2, 3, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((2, 2)))
+        h1 = cell(x)
+        h2 = cell(x, h1)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradcheck(self):
+        cell = GRUCell(3, 3, rng=np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3)), requires_grad=True)
+        assert gradcheck(lambda x: cell(x), [x])
+
+
+class TestLSTMSequence:
+    def test_output_shapes(self):
+        lstm = LSTM(3, 8, rng=np.random.default_rng(0))
+        out, (h, c) = lstm(Tensor(np.zeros((4, 7, 3))))
+        assert out.shape == (4, 7, 8)
+        assert h.shape == (4, 8)
+
+    def test_rejects_wrong_rank(self):
+        lstm = LSTM(3, 8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((4, 3))))
+
+    def test_last_output_equals_final_state(self):
+        lstm = LSTM(2, 4, rng=np.random.default_rng(1))
+        out, (h, _) = lstm(Tensor(np.random.default_rng(2).normal(size=(3, 5, 2))))
+        assert np.allclose(out.data[:, -1, :], h.data)
+
+    def test_learns_to_remember_first_element(self):
+        """The LSTM must be trainable on a memory task."""
+        from repro.autodiff import mse
+        from repro.nn import Linear
+        from repro.optim import Adam
+
+        rng = np.random.default_rng(0)
+        lstm = LSTM(1, 12, rng=np.random.default_rng(1))
+        head = Linear(12, 1, rng=np.random.default_rng(2))
+        params = list(lstm.parameters()) + list(head.parameters())
+        opt = Adam(params, lr=0.02)
+        x = rng.normal(size=(64, 6, 1))
+        y = x[:, 0, :]  # remember the first input
+        first = last = None
+        for step in range(120):
+            opt.zero_grad()
+            out, _ = lstm(Tensor(x))
+            loss = mse(head(out[:, -1, :]), y)
+            loss.backward()
+            opt.step()
+            if step == 0:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.2

@@ -1,0 +1,112 @@
+"""Tests for the STGCN baseline and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.models import STGCN
+from repro.nn import LayerNorm
+
+
+def ring(n):
+    adj = np.zeros((n, n))
+    for i in range(n):
+        adj[i, (i + 1) % n] = adj[(i + 1) % n, i] = 1.0
+    return adj
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gain_bias_applied(self):
+        ln = LayerNorm(4)
+        ln.gain.data = np.full(4, 2.0)
+        ln.bias.data = np.full(4, 1.0)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 5))))
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_gradcheck(self):
+        ln = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)),
+                   requires_grad=True)
+        assert gradcheck(lambda x: ln(x), [x], atol=5e-4, rtol=5e-3)
+
+    def test_parameters_trainable(self):
+        ln = LayerNorm(3)
+        ln(Tensor(np.random.default_rng(0).normal(size=(2, 3)))).sum().backward()
+        assert ln.gain.grad is not None
+        assert ln.bias.grad is not None
+
+    def test_constant_input_stable(self):
+        ln = LayerNorm(4)
+        out = ln(Tensor(np.full((2, 4), 7.0))).data
+        assert np.isfinite(out).all()
+
+
+class TestSTGCN:
+    def _model(self, **kw):
+        kwargs = dict(input_length=6, output_length=4, num_nodes=5,
+                      num_features=2, adjacency=ring(5), hidden_channels=6,
+                      num_blocks=2, seed=0)
+        kwargs.update(kw)
+        return STGCN(**kwargs)
+
+    def test_output_shape(self):
+        model = self._model()
+        x = np.random.default_rng(0).normal(size=(3, 6, 5, 2))
+        out = model(x, np.ones_like(x), np.zeros((3, 6)))
+        assert out.prediction.shape == (3, 4, 5, 2)
+
+    def test_requires_adjacency(self):
+        with pytest.raises(ValueError):
+            STGCN(input_length=6, output_length=4, num_nodes=5, num_features=2)
+
+    def test_block_count_validated(self):
+        with pytest.raises(ValueError):
+            self._model(num_blocks=0)
+
+    def test_wrong_length_rejected(self):
+        model = self._model()
+        x = np.zeros((2, 4, 5, 2))
+        with pytest.raises(ValueError):
+            model(x, np.ones_like(x), np.zeros((2, 4)))
+
+    def test_all_parameters_receive_gradients(self):
+        model = self._model(num_blocks=1)
+        x = np.random.default_rng(0).normal(size=(2, 6, 5, 2))
+        model(x, np.ones_like(x), np.zeros((2, 6))).prediction.sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_trains(self):
+        from repro.datasets import make_pems_dataset, make_windows, mcar_mask
+        from repro.training import Trainer, TrainerConfig
+        from dataclasses import replace as dreplace
+
+        ds = make_pems_dataset(num_nodes=5, num_days=2, steps_per_day=96, seed=0)
+        ds = dreplace(ds, data=ds.data[:, :, :2], mask=ds.mask[:, :, :2],
+                      truth=ds.truth[:, :, :2],
+                      feature_names=ds.feature_names[:2])
+        windows = make_windows(ds, 6, 4, stride=6)
+        model = self._model()
+        history = Trainer(model, TrainerConfig(max_epochs=3, batch_size=16)).fit(
+            windows, None
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_registry_entry(self):
+        from repro.experiments import ALL_MODEL_NAMES
+
+        assert "STGCN" in ALL_MODEL_NAMES

@@ -1,0 +1,104 @@
+"""Tests for the post-hoc evaluation analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    error_by_missingness,
+    evaluate_horizons,
+    per_node_metrics,
+    per_step_metrics,
+)
+
+
+def _arrays(B=4, T=6, N=3, D=2, seed=0):
+    rng = np.random.default_rng(seed)
+    pred = rng.normal(size=(B, T, N, D))
+    target = rng.normal(size=(B, T, N, D))
+    mask = np.ones((B, T, N, D))
+    return pred, target, mask
+
+
+class TestPerStepMetrics:
+    def test_length_and_types(self):
+        pred, target, mask = _arrays()
+        out = per_step_metrics(pred, target, mask)
+        assert len(out) == pred.shape[1]
+        assert all(p.rmse >= p.mae for p in out)
+
+    def test_localizes_error_to_step(self):
+        pred = np.zeros((2, 4, 3, 1))
+        target = np.zeros_like(pred)
+        target[:, 2] = 5.0
+        mask = np.ones_like(pred)
+        out = per_step_metrics(pred, target, mask)
+        assert out[2].mae == pytest.approx(5.0)
+        assert out[0].mae == pytest.approx(0.0)
+
+    def test_consistent_with_cumulative(self):
+        """Cumulative horizon metrics are means of per-step metrics when
+        the mask is uniform."""
+        pred, target, mask = _arrays()
+        steps = per_step_metrics(pred, target, mask)
+        cumulative = evaluate_horizons(pred, target, mask, [pred.shape[1]])
+        mean_step_mae = np.mean([s.mae for s in steps])
+        assert cumulative[pred.shape[1]].mae == pytest.approx(mean_step_mae)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            per_step_metrics(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            per_step_metrics(
+                np.zeros((2, 3, 4, 1)), np.zeros((2, 3, 4, 2)),
+                np.zeros((2, 3, 4, 1)),
+            )
+
+
+class TestPerNodeMetrics:
+    def test_localizes_error_to_node(self):
+        pred = np.zeros((2, 4, 3, 1))
+        target = np.zeros_like(pred)
+        target[:, :, 1] = 2.0
+        mask = np.ones_like(pred)
+        out = per_node_metrics(pred, target, mask)
+        assert out[1].mae == pytest.approx(2.0)
+        assert out[0].mae == pytest.approx(0.0)
+
+    def test_respects_mask(self):
+        pred = np.zeros((1, 2, 2, 1))
+        target = np.full_like(pred, 3.0)
+        mask = np.zeros_like(pred)
+        mask[:, :, 0] = 1.0
+        out = per_node_metrics(pred, target, mask)
+        assert out[0].mae == pytest.approx(3.0)
+        assert out[1].mae == pytest.approx(0.0)  # empty mask -> 0 denominator
+
+
+class TestErrorByMissingness:
+    def test_buckets_sorted_by_missingness(self):
+        rng = np.random.default_rng(0)
+        B, T, N, D = 40, 4, 3, 1
+        history_mask = (rng.random((B, 6, N, D)) > rng.random((B, 1, 1, 1))).astype(float)
+        pred = np.zeros((B, T, N, D))
+        # Error proportional to the window's missing rate -> monotone buckets.
+        window_missing = 1.0 - history_mask.reshape(B, -1).mean(axis=1)
+        target = window_missing[:, None, None, None] * np.ones((B, T, N, D))
+        out = error_by_missingness(pred, target, np.ones_like(pred), history_mask,
+                                   bins=3)
+        rates = [r for r, _m in out]
+        maes = [m.mae for _r, m in out]
+        assert rates == sorted(rates)
+        assert maes == sorted(maes)
+
+    def test_window_count_validation(self):
+        pred = np.zeros((4, 2, 2, 1))
+        with pytest.raises(ValueError):
+            error_by_missingness(pred, pred, np.ones_like(pred),
+                                 np.ones((3, 2, 2, 1)))
+
+    def test_single_bin(self):
+        pred, target, mask = _arrays()
+        history = np.ones((4, 6, 3, 2))
+        out = error_by_missingness(pred, target, mask, history, bins=1)
+        assert len(out) == 1
+        assert out[0][0] == pytest.approx(0.0)  # fully observed history
