@@ -8,12 +8,21 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
   bench; closest to the paper's relative numbers).
 
 Each bench prints the same rows/series the paper reports, so running
-``pytest benchmarks/ --benchmark-only -s`` regenerates the tables.
+``pytest benchmarks/ -m bench -s`` regenerates the tables. Benches are
+marked ``bench`` and excluded from the default pytest run.
+
+Besides the printed tables, benches emit machine-readable
+``BENCH_<name>.json`` records via :func:`emit_bench_record` into
+``REPRO_BENCH_OUT`` (default: this directory), so perf trajectories can
+be tracked across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 from repro.experiments import DataConfig, ModelConfig, default_trainer_config
 
@@ -75,3 +84,42 @@ def trainer_config(**overrides):
 def run_once(benchmark, fn):
     """Run a heavy experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def model_result_record(result) -> dict:
+    """Flatten one :class:`~repro.experiments.ModelResult` for a bench record."""
+    record = {
+        "model": result.name,
+        "train_seconds": result.train_seconds,
+        "num_parameters": result.num_parameters,
+        "epochs": result.epochs,
+        "metrics": {
+            str(h): {"mae": pair.mae, "rmse": pair.rmse}
+            for h, pair in result.horizon_metrics.items()
+        },
+    }
+    record.update(result.extra)
+    return record
+
+
+def emit_bench_record(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is merged over a standard envelope (bench name, scale,
+    timestamp, platform), so every record is self-describing.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_OUT", os.path.dirname(os.path.abspath(__file__)))
+    os.makedirs(out_dir, exist_ok=True)
+    record = {
+        "bench": name,
+        "scale": SCALE,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    record.update(payload)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return path

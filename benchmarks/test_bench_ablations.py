@@ -8,10 +8,13 @@
 3. **Hard vs soft interval weighting** for aggregating temporal GCNs.
 """
 
+import pytest
+
 from bench_config import model_config, pems_data_config, run_once, trainer_config
 
 from repro.experiments import ModelConfig, prepare_context, run_model
-from dataclasses import replace
+
+pytestmark = pytest.mark.bench
 
 
 def _run_variant(model_cfg: ModelConfig):

@@ -6,6 +6,8 @@ Chebyshev graph convolution forward/backward, the LSTM step, DTW, the
 timeline partitioner and Eq. 8 adjacency construction.
 """
 
+import pytest
+
 import numpy as np
 
 from repro.autodiff import Tensor
@@ -17,6 +19,8 @@ from repro.graphs import (
     gaussian_kernel_adjacency,
 )
 from repro.nn import ChebConv, LSTMCell
+
+pytestmark = pytest.mark.bench
 
 RNG = np.random.default_rng(0)
 

@@ -7,9 +7,13 @@ the scaled-down simulator the optimum may land at a neighbouring M, but
 the curve should not be monotone in M.
 """
 
+import pytest
+
 from bench_config import SCALE, model_config, pems_data_config, run_once, trainer_config
 
 from repro.experiments import run_fig4
+
+pytestmark = pytest.mark.bench
 
 GRAPH_COUNTS = {"fast": [2, 8], "small": [2, 4, 8, 16], "full": [2, 4, 8, 16, 24]}[SCALE]
 

@@ -7,9 +7,13 @@ lambda overfits imputation at the forecast's expense — with a wide good
 basin in (0.001, 5).
 """
 
+import pytest
+
 from bench_config import SCALE, model_config, pems_data_config, run_once, trainer_config
 
 from repro.experiments import run_fig5
+
+pytestmark = pytest.mark.bench
 
 LAMBDAS = {
     "fast": [0.001, 1.0, 20.0],

@@ -5,9 +5,13 @@ those entries, at 40% and 80% injected missing. Expected shape: RIHGCN
 beats the classical imputers, with a larger margin at 80% missing.
 """
 
+import pytest
+
 from bench_config import SCALE, model_config, pems_data_config, run_once, trainer_config
 
 from repro.experiments import run_imputation_study
+
+pytestmark = pytest.mark.bench
 
 MISSING_RATES = {"fast": [0.4], "small": [0.4, 0.8], "full": [0.4, 0.8]}[SCALE]
 # The recurrent imputation converges more slowly than the forecast head;

@@ -1,0 +1,60 @@
+"""Instrumented RIHGCN training run: epoch timings + autodiff hotspots.
+
+Unlike the table/figure benches (which reproduce paper numbers), this
+bench characterises *where the time goes*: it trains the headline model
+with the telemetry stack attached and emits a ``BENCH_rihgcn_profile.json``
+record with per-epoch seconds, losses, and the per-op profile of one
+epoch — the baseline every future perf PR is judged against.
+"""
+
+import pytest
+
+from bench_config import SCALE, emit_bench_record, model_config, pems_data_config, trainer_config
+
+from repro.experiments import build_model, prepare_context
+from repro.telemetry import JSONLRunRecorder, Profiler
+from repro.training import Trainer
+
+pytestmark = pytest.mark.bench
+
+MISSING_RATE = 0.4
+EPOCHS = {"fast": 2, "small": 4, "full": 8}[SCALE]
+
+
+def test_rihgcn_profile(tmp_path):
+    ctx = prepare_context(
+        pems_data_config(missing_rate=MISSING_RATE), model_config()
+    )
+    model = build_model("RIHGCN", ctx)
+    trainer = Trainer(model, trainer_config(max_epochs=EPOCHS))
+    profiler = Profiler(epoch=1, top=None)
+    recorder = JSONLRunRecorder(
+        str(tmp_path / "rihgcn_profile.jsonl"),
+        extra={"dataset": "pems", "missing_rate": MISSING_RATE},
+    )
+    history = trainer.fit(
+        ctx.train_windows, ctx.val_windows, callbacks=[recorder, profiler]
+    )
+
+    assert history.num_epochs >= 2
+    assert profiler.report_text is not None
+    hotspots = profiler.profiler.as_dict(top=12)
+    assert hotspots and hotspots[0]["calls"] > 0
+
+    print()
+    print(f"RIHGCN {history.num_epochs} epochs, "
+          f"mean epoch {sum(history.epoch_seconds) / history.num_epochs:.2f}s")
+    print(profiler.report_text)
+
+    emit_bench_record("rihgcn_profile", {
+        "model": "RIHGCN",
+        "dataset": "pems",
+        "missing_rate": MISSING_RATE,
+        "num_parameters": model.num_parameters(),
+        "epochs": history.num_epochs,
+        "epoch_seconds": list(history.epoch_seconds),
+        "train_loss": list(history.train_loss),
+        "val_loss": list(history.val_loss),
+        "final_train_loss": history.train_loss[-1],
+        "op_hotspots": hotspots,
+    })

@@ -4,6 +4,8 @@ Expected shape: error grows with horizon for every learned model; RIHGCN
 stays lowest across horizons.
 """
 
+import pytest
+
 from bench_config import (
     PREDICTION_MODELS,
     model_config,
@@ -13,6 +15,8 @@ from bench_config import (
 )
 
 from repro.experiments import run_table1_horizons
+
+pytestmark = pytest.mark.bench
 
 HORIZONS = [3, 6, 9, 12]
 

@@ -6,16 +6,22 @@ their mean-filled counterparts; gaps widen as the missing rate grows; VAR
 degrades fastest.
 """
 
+import pytest
+
 from bench_config import (
     PREDICTION_MODELS,
     SCALE,
+    emit_bench_record,
     model_config,
+    model_result_record,
     pems_data_config,
     run_once,
     trainer_config,
 )
 
 from repro.experiments import run_table1_missing_rates
+
+pytestmark = pytest.mark.bench
 
 MISSING_RATES = {"fast": [0.4, 0.8], "small": [0.2, 0.4, 0.6, 0.8],
                  "full": [0.2, 0.4, 0.6, 0.8]}[SCALE]
@@ -34,6 +40,12 @@ def test_table1_missing_rate_sweep(benchmark):
     )
     print()
     print(result.render("Table I (upper): PeMS, 60-min horizon, by missing rate"))
+
+    emit_bench_record("table1_missing_rate", {
+        "dataset": "pems",
+        "missing_rates": MISSING_RATES,
+        "runs": [model_result_record(r) for r in result.details],
+    })
 
     # Shape assertions from the paper.
     last = len(MISSING_RATES) - 1

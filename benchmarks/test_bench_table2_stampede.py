@@ -7,6 +7,8 @@ everyone toward climatology), imputation-based variants still lead, and
 RIHGCN/GCN-LSTM-I sit at the top.
 """
 
+import pytest
+
 from bench_config import (
     PREDICTION_MODELS,
     model_config,
@@ -16,6 +18,8 @@ from bench_config import (
 )
 
 from repro.experiments import prepare_context, run_table2
+
+pytestmark = pytest.mark.bench
 
 HORIZONS = [3, 6, 9, 12]
 

@@ -14,6 +14,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.models` -- RIHGCN, its ablations, and every baseline
 * :mod:`repro.imputation` -- classical imputers (Last/KNN/MF/TD/...)
 * :mod:`repro.training` -- trainer and metrics
+* :mod:`repro.telemetry` -- metric registry, op profiler, trainer callbacks
 * :mod:`repro.experiments` -- one entry point per paper table/figure
 """
 
@@ -21,7 +22,8 @@ from .autodiff import Tensor, no_grad
 from .datasets import TrafficDataset, make_pems_dataset, make_stampede_dataset
 from .graphs import HeterogeneousGraphSet, build_heterogeneous_graphs
 from .models import RecurrentImputationForecaster, rihgcn
-from .training import Trainer, TrainerConfig
+from .telemetry import Callback, EpochLogger, JSONLRunRecorder, MetricRegistry, Profiler
+from .training import EvalReport, Trainer, TrainerConfig
 
 __version__ = "1.0.0"
 
@@ -37,5 +39,11 @@ __all__ = [
     "rihgcn",
     "Trainer",
     "TrainerConfig",
+    "EvalReport",
+    "Callback",
+    "EpochLogger",
+    "JSONLRunRecorder",
+    "Profiler",
+    "MetricRegistry",
     "__version__",
 ]

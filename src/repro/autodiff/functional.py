@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concat, maximum, stack, where
+from .tensor import Tensor, as_tensor, maximum, where
 
 __all__ = [
     "softmax",

@@ -82,6 +82,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lambdas", type=float, nargs="+",
                    default=[0.0001, 0.01, 1.0, 5.0, 20.0])
 
+    p = sub.add_parser(
+        "profile",
+        help="train one model briefly; print op hotspots, write a JSONL run record",
+    )
+    p.add_argument("--model", default="RIHGCN", help="registered neural model name")
+    p.add_argument("--missing-rate", type=float, default=0.4)
+    p.add_argument("--profile-epoch", type=int, default=1,
+                   help="epoch to run the op profiler on (default: second epoch)")
+    p.add_argument("--top", type=int, default=15, help="hotspot rows to print")
+    p.add_argument("--run-record", type=str, default="runs/profile.jsonl",
+                   help="JSONL run-record path")
+
     p = sub.add_parser("report", help="run everything, emit a Markdown report")
     p.add_argument("--output", type=str, default="-",
                    help="output file path, or '-' for stdout")
@@ -166,6 +178,42 @@ def main(argv: list[str] | None = None) -> int:
         )
         print()
         print(result.render())
+    elif args.command == "profile":
+        from dataclasses import replace
+
+        from .experiments import build_model, is_statistical, prepare_context
+        from .telemetry import EpochLogger, JSONLRunRecorder, Profiler
+        from .training import Trainer
+
+        if is_statistical(args.model):
+            print(f"{args.model} is a closed-form baseline; nothing to profile",
+                  file=sys.stderr)
+            return 2
+        ctx = prepare_context(
+            replace(data_cfg, missing_rate=args.missing_rate), model_cfg
+        )
+        model = build_model(args.model, ctx)
+        trainer = Trainer(model, trainer_cfg)
+        profiler = Profiler(epoch=args.profile_epoch, top=args.top)
+        recorder = JSONLRunRecorder(
+            args.run_record,
+            extra={"dataset": data_cfg.dataset, "missing_rate": args.missing_rate,
+                   "command": "profile"},
+        )
+        print(f"profiling {args.model}: {trainer_cfg.max_epochs} epochs, "
+              f"{ctx.train_windows.num_windows} train windows, "
+              f"missing rate {args.missing_rate:.0%}")
+        history = trainer.fit(
+            ctx.train_windows, ctx.val_windows,
+            callbacks=[EpochLogger(), recorder, profiler],
+        )
+        print()
+        print(f"op hotspots (epoch {min(args.profile_epoch, history.num_epochs - 1)}, "
+              f"sorted by total seconds):")
+        print(profiler.report_text or "(no ops recorded)")
+        print()
+        print(f"run record appended to {args.run_record} "
+              f"(run_id={recorder.run_id}, {history.num_epochs} epochs)")
     elif args.command == "report":
         from .experiments import ReportConfig, generate_report
 

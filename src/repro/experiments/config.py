@@ -10,7 +10,7 @@ the results is what the reproduction targets (see DESIGN.md). Pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..training import TrainerConfig
 

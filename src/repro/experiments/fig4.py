@@ -15,7 +15,7 @@ from ..training import MetricPair, Trainer, TrainerConfig
 from .config import DataConfig, ModelConfig, default_trainer_config
 from .context import prepare_context
 from .registry import build_model
-from .runner import evaluate_model_imputation, run_model
+from .runner import evaluate_model_imputation
 from .tables import format_series
 
 __all__ = ["Fig4Result", "run_fig4"]

@@ -108,6 +108,12 @@ def run_model(
         train_seconds=time.perf_counter() - start,
         num_parameters=neural.num_parameters(),
         epochs=history.num_epochs,
+        extra={
+            "epoch_seconds": list(history.epoch_seconds),
+            "final_train_loss": history.train_loss[-1] if history.train_loss else None,
+            "final_val_loss": history.val_loss[-1] if history.val_loss else None,
+            "best_epoch": history.best_epoch,
+        },
     )
     if evaluate_imputation and isinstance(neural, RecurrentImputationForecaster):
         result.imputation = evaluate_model_imputation(neural, ctx)

@@ -177,3 +177,10 @@ class ASTGCN(NeuralForecaster):
             batch, nodes, self.output_length, self.output_features
         ).transpose(0, 2, 1, 3)
         return ForecastOutput(prediction=prediction)
+
+    def forward_batch(self, batch) -> ForecastOutput:
+        """Consume the periodic segment fields when the daily branch exists."""
+        if self.uses_periodic:
+            return self(batch.x, batch.m, batch.steps_of_day,
+                        x_daily=batch.x_daily, m_daily=batch.m_daily)
+        return self(batch.x, batch.m, batch.steps_of_day)

@@ -53,6 +53,11 @@ class NeuralForecaster(Module):
     Subclasses implement ``forward(x, m, steps_of_day) -> ForecastOutput``
     where ``x``/``m`` are ``(B, T_in, N, D)`` arrays (``x`` zero-filled at
     missing entries) and ``steps_of_day`` is ``(B, T_in)``.
+
+    Models consuming additional window fields (e.g. ASTGCN's periodic
+    segments) override :meth:`forward_batch`, which is the entry point
+    the training harness uses — each model declares its own batch-field
+    contract instead of the trainer special-casing model families.
     """
 
     #: whether the model consumes the observation mask (imputation models)
@@ -73,6 +78,15 @@ class NeuralForecaster(Module):
 
     def forward(self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray) -> ForecastOutput:
         raise NotImplementedError
+
+    def forward_batch(self, batch) -> ForecastOutput:
+        """Forward pass from a :class:`~repro.datasets.WindowSet` batch.
+
+        The default consumes the universal fields (``x``, ``m``,
+        ``steps_of_day``); models that read extra window fields override
+        this to pick them off the batch themselves.
+        """
+        return self(batch.x, batch.m, batch.steps_of_day)
 
 
 class StatisticalForecaster:

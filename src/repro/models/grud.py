@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import Tensor, concat, stack
-from ..nn import GRUCell, Linear, Module, Parameter, init
+from ..nn import GRUCell, Linear, Parameter, init
 from .base import ForecastOutput, NeuralForecaster
 
 __all__ = ["GRUDForecaster", "compute_deltas", "forward_fill_last"]

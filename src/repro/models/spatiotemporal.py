@@ -16,7 +16,7 @@ import numpy as np
 
 from ..autodiff import Tensor, concat, stack
 from ..graphs import chebyshev_polynomials
-from ..nn import ChebConv, Linear, LSTMCell, Module
+from ..nn import ChebConv, Linear, LSTMCell
 from .base import ForecastOutput, NeuralForecaster
 
 __all__ = ["SpatioTemporalForecaster", "fc_lstm", "fc_gcn", "gcn_lstm"]

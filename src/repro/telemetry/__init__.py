@@ -1,0 +1,57 @@
+"""Telemetry: metrics, autodiff op profiling, and trainer callbacks.
+
+Three layers, usable independently:
+
+* :mod:`repro.telemetry.registry` — counters/gauges/timers/histograms
+  plus nestable ``span`` context managers, aggregated in a
+  :class:`MetricRegistry` (a process-wide default backs the module-level
+  helpers);
+* :mod:`repro.telemetry.profiler` — an autodiff op profiler that hooks
+  ``Tensor`` op dispatch and reports per-op counts, forward/backward
+  wall time and allocation sizes (:func:`profile_report`);
+* :mod:`repro.telemetry.callbacks` — the ``Trainer`` event bus
+  (:class:`Callback`) with built-in :class:`EpochLogger`,
+  :class:`JSONLRunRecorder` and :class:`Profiler` observers.
+"""
+
+from .callbacks import Callback, CallbackList, EpochLogger, JSONLRunRecorder, Profiler
+from .profiler import OpProfiler, OpStats, active_profiler, profile, profile_report
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Timer,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+    span,
+    timer,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "timer",
+    "histogram",
+    "span",
+    "OpProfiler",
+    "OpStats",
+    "profile",
+    "profile_report",
+    "active_profiler",
+    "Callback",
+    "CallbackList",
+    "EpochLogger",
+    "JSONLRunRecorder",
+    "Profiler",
+]

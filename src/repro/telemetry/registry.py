@@ -1,0 +1,302 @@
+"""Metric primitives: counters, gauges, timers, histograms, spans.
+
+The registry is the in-process aggregation point for run-time signals.
+It is deliberately dependency-free and cheap: every primitive is a tiny
+mutable object looked up once by name, so hot loops can hold a direct
+reference (``t = registry.timer("epoch")``) and pay only an attribute
+update per event.
+
+A module-level *default registry* backs the convenience functions
+(:func:`counter`, :func:`gauge`, :func:`timer`, :func:`histogram`,
+:func:`span`) so library code can emit metrics without threading a
+registry handle through every call site. Tests inject a fake clock via
+``MetricRegistry(clock=...)`` for deterministic timings.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricRegistry",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "timer",
+    "histogram",
+    "span",
+]
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value of a quantity that can go up or down."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Timer:
+    """Accumulated wall time over repeated observations.
+
+    ``observe`` takes a duration in seconds; :meth:`time` is a context
+    manager measuring its body with the registry clock.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float] = time.perf_counter):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self._clock = clock
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @contextlib.contextmanager
+    def time(self) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(self._clock() - start)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) plus raw samples.
+
+    Keeps at most ``max_samples`` raw observations (reservoir-free: the
+    earliest samples are retained, which is adequate for the short runs
+    this repo profiles) so percentiles stay available without unbounded
+    memory.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "samples", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: list[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100] over retained samples."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        pos = (len(ordered) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricRegistry:
+    """Named collection of metric primitives with nestable spans.
+
+    Metrics are created on first access and shared thereafter, so
+    ``registry.counter("batches").inc()`` from two call sites updates one
+    counter. :meth:`span` measures a code region into a timer keyed by
+    the slash-joined path of all open spans (``fit/epoch/batch``), which
+    turns nested instrumentation into a flat, reportable namespace.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._span_stack: list[str] = []
+
+    # -- primitive accessors ------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name, clock=self._clock)
+        return metric
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return metric
+
+    # -- spans ---------------------------------------------------------
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[Timer]:
+        """Time a region under the current span path.
+
+        Spans nest: entering ``span("b")`` inside ``span("a")`` records
+        into the timer ``a/b`` while ``a`` keeps accumulating its own
+        (inclusive) duration.
+        """
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        self._span_stack.append(name)
+        metric = self.timer("/".join(self._span_stack))
+        start = self._clock()
+        try:
+            yield metric
+        finally:
+            metric.observe(self._clock() - start)
+            self._span_stack.pop()
+
+    @property
+    def current_span(self) -> str:
+        """Slash-joined path of currently open spans ('' at top level)."""
+        return "/".join(self._span_stack)
+
+    # -- lifecycle -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serialisable view of every metric."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self._counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
+            "timers": {n: t.snapshot() for n, t in self._timers.items()},
+            "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
+        }
+
+    def reset(self) -> None:
+        """Drop all metrics (open spans keep their path stack)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Default registry + module-level convenience API
+# ----------------------------------------------------------------------
+_DEFAULT_REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    """Return the process-wide default registry."""
+    return _DEFAULT_REGISTRY
+
+
+def set_registry(registry: MetricRegistry) -> MetricRegistry:
+    """Swap the default registry; returns the previous one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def counter(name: str) -> Counter:
+    return _DEFAULT_REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _DEFAULT_REGISTRY.gauge(name)
+
+
+def timer(name: str) -> Timer:
+    return _DEFAULT_REGISTRY.timer(name)
+
+
+def histogram(name: str, max_samples: int = 4096) -> Histogram:
+    return _DEFAULT_REGISTRY.histogram(name, max_samples=max_samples)
+
+
+def span(name: str):
+    return _DEFAULT_REGISTRY.span(name)

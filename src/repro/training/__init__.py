@@ -1,5 +1,6 @@
 """Training loop and evaluation metrics."""
 
+from ..telemetry.callbacks import Callback, EpochLogger, JSONLRunRecorder, Profiler
 from .cross_validation import FoldResult, RollingOriginCV, rolling_origin_folds
 from .evaluation import error_by_missingness, per_node_metrics, per_step_metrics
 from .metrics import (
@@ -11,7 +12,7 @@ from .metrics import (
     rmse,
 )
 from .rolling import ForecastTrace, rolling_forecast
-from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .trainer import EvalReport, Trainer, TrainerConfig, TrainingHistory
 
 __all__ = [
     "mae",
@@ -23,6 +24,11 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",
+    "EvalReport",
+    "Callback",
+    "EpochLogger",
+    "JSONLRunRecorder",
+    "Profiler",
     "per_step_metrics",
     "per_node_metrics",
     "error_by_missingness",

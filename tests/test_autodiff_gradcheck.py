@@ -6,7 +6,6 @@ the recurrent imputation path.
 """
 
 import numpy as np
-import pytest
 
 from repro.autodiff import (
     Tensor,

@@ -138,6 +138,6 @@ class TestDCRNN:
         assert history.train_loss[-1] < history.train_loss[0]
 
     def test_registry_entry(self):
-        from repro.experiments import ALL_MODEL_NAMES, build_model
+        from repro.experiments import ALL_MODEL_NAMES
 
         assert "DCRNN" in ALL_MODEL_NAMES

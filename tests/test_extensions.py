@@ -12,7 +12,6 @@ from repro.graphs import (
     TimelinePartitioner,
     build_temporal_graphs,
     build_weekly_temporal_graphs,
-    gaussian_kernel_adjacency,
     wrap_slice,
 )
 from repro.models import fc_lstm_i

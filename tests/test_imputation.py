@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets import make_pems_dataset, mcar_mask
+from repro.datasets import mcar_mask
 from repro.imputation import (
     KNNImputer,
     LastObservedImputer,

@@ -11,7 +11,6 @@ from repro.nn import (
     Linear,
     Module,
     ModuleList,
-    Parameter,
     ReLU,
     Sequential,
     Sigmoid,

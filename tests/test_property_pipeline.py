@@ -1,14 +1,12 @@
 """Hypothesis property tests across the data/graph pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datasets import TrafficDataset, make_windows, mcar_mask
 from repro.datasets.network import city_grid
 from repro.graphs import (
     PartitionConfig,
-    TimelinePartition,
     TimelinePartitioner,
     chebyshev_polynomials,
     gaussian_kernel_adjacency,

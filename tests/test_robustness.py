@@ -2,7 +2,6 @@
 must survive (extreme missingness, flat signals, tiny graphs)."""
 
 import numpy as np
-import pytest
 
 from repro.datasets import (
     StampedeConfig,

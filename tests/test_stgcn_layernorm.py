@@ -91,7 +91,7 @@ class TestSTGCN:
             assert param.grad is not None, f"no grad for {name}"
 
     def test_trains(self):
-        from repro.datasets import make_pems_dataset, make_windows, mcar_mask
+        from repro.datasets import make_pems_dataset, make_windows
         from repro.training import Trainer, TrainerConfig
         from dataclasses import replace as dreplace
 

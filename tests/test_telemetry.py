@@ -1,0 +1,240 @@
+"""Tests for the telemetry subsystem: registry, spans, op profiler."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.telemetry import (
+    MetricRegistry,
+    OpProfiler,
+    get_registry,
+    profile,
+    profile_report,
+    set_registry,
+)
+
+
+class FakeClock:
+    """Deterministic clock advancing a fixed step per reading."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        reg = MetricRegistry()
+        reg.counter("batches").inc()
+        reg.counter("batches").inc(2.0)
+        assert reg.counter("batches").value == 3.0
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("c").inc(-1.0)
+
+    def test_gauge_set_and_add(self):
+        reg = MetricRegistry()
+        reg.gauge("lr").set(0.1)
+        reg.gauge("lr").add(0.05)
+        assert reg.gauge("lr").value == pytest.approx(0.15)
+
+    def test_same_name_shares_instance(self):
+        reg = MetricRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.timer("t") is reg.timer("t")
+
+
+class TestTimer:
+    def test_observe_aggregates(self):
+        t = MetricRegistry().timer("t")
+        t.observe(1.0)
+        t.observe(3.0)
+        assert t.count == 2
+        assert t.total == pytest.approx(4.0)
+        assert t.mean == pytest.approx(2.0)
+        assert t.min == pytest.approx(1.0)
+        assert t.max == pytest.approx(3.0)
+
+    def test_time_context_uses_injected_clock(self):
+        reg = MetricRegistry(clock=FakeClock(step=2.0))
+        with reg.timer("t").time():
+            pass
+        # one clock reading on entry, one on exit -> duration == step
+        assert reg.timer("t").total == pytest.approx(2.0)
+        assert reg.timer("t").count == 1
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = MetricRegistry().histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) == pytest.approx(2.5)
+
+    def test_percentile_validates(self):
+        h = MetricRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_sample_cap(self):
+        h = MetricRegistry().histogram("h", max_samples=3)
+        for v in range(10):
+            h.observe(float(v))
+        assert h.count == 10
+        assert len(h.samples) == 3
+
+
+class TestSpans:
+    def test_nested_spans_record_paths(self):
+        reg = MetricRegistry(clock=FakeClock())
+        with reg.span("fit"):
+            with reg.span("epoch"):
+                pass
+            with reg.span("epoch"):
+                pass
+        snap = reg.snapshot()["timers"]
+        assert set(snap) == {"fit", "fit/epoch"}
+        assert snap["fit/epoch"]["count"] == 2
+        assert snap["fit"]["count"] == 1
+
+    def test_span_path_restored_after_exception(self):
+        reg = MetricRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                raise RuntimeError("boom")
+        assert reg.current_span == ""
+        assert reg.snapshot()["timers"]["outer"]["count"] == 1
+
+    def test_span_name_rejects_separator(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            with reg.span("a/b"):
+                pass
+
+    def test_deterministic_durations_with_fake_clock(self):
+        reg = MetricRegistry(clock=FakeClock(step=1.0))
+        with reg.span("outer") as t:
+            pass
+        # entry and exit reading one tick apart
+        assert t.total == pytest.approx(1.0)
+
+
+class TestRegistryLifecycle:
+    def test_snapshot_shape(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.timer("t").observe(0.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 1.0
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["histograms"]["h"]["count"] == 1
+        import json
+
+        json.dumps(snap)  # must be JSON-serialisable
+
+    def test_reset_clears(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
+
+    def test_default_registry_swap(self):
+        fresh = MetricRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+
+class TestOpProfiler:
+    def test_counts_on_tiny_graph(self):
+        with profile() as prof:
+            a = Tensor(np.ones((3, 4)), requires_grad=True)
+            b = Tensor(np.ones((4, 2)), requires_grad=True)
+            loss = ((a @ b).tanh()).sum()
+            loss.backward()
+        assert prof.stats["matmul"].calls == 1
+        assert prof.stats["tanh"].calls == 1
+        assert prof.stats["sum"].calls == 1
+        # every op on the loss path ran its backward exactly once
+        assert prof.stats["matmul"].backward_calls == 1
+        assert prof.stats["tanh"].backward_calls == 1
+
+    def test_alloc_bytes_recorded(self):
+        with profile() as prof:
+            a = Tensor(np.ones((10, 10)), requires_grad=True)
+            _ = a + a
+        stat = prof.stats["add"]
+        assert stat.alloc_bytes == 10 * 10 * 8
+        assert stat.peak_bytes == 10 * 10 * 8
+
+    def test_forward_time_with_fake_clock(self):
+        clock = FakeClock(step=0.5)
+        with profile(clock=clock) as prof:
+            a = Tensor(np.ones(4), requires_grad=True)
+            _ = a.relu()
+        assert prof.stats["relu"].forward_seconds > 0
+
+    def test_deactivation_restores_tensor(self):
+        add_before = Tensor.__add__
+        with profile():
+            _ = Tensor(np.ones(2)) + 1.0
+        assert Tensor.__add__ is add_before
+        # gradients still flow after the hooks are removed
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+
+    def test_nested_activation_rejected(self):
+        with profile():
+            with pytest.raises(RuntimeError):
+                OpProfiler().activate()
+
+    def test_report_sorted_and_bounded(self):
+        with profile() as prof:
+            a = Tensor(np.ones((5, 5)), requires_grad=True)
+            ((a @ a).sigmoid() * 2.0).mean().backward()
+        report = prof.report(top=2)
+        body = [line for line in report.splitlines()
+                if not line.startswith(("op ", "-", "TOTAL"))]
+        assert len(body) == 2
+        rows = prof.sorted_stats()
+        assert all(rows[i].total_seconds >= rows[i + 1].total_seconds
+                   for i in range(len(rows) - 1))
+
+    def test_profile_report_after_window(self):
+        with profile():
+            _ = Tensor(np.ones(2)) + 1.0
+        assert "add" in profile_report()
+
+    def test_report_sort_key_validated(self):
+        with pytest.raises(ValueError):
+            OpProfiler().sorted_stats("bogus")
+
+    def test_untracked_ops_counted_via_make(self):
+        from repro.autodiff import functional
+
+        with profile() as prof:
+            a = Tensor(np.ones((2, 3)), requires_grad=True)
+            _ = functional.softmax(a, axis=-1)
+        # softmax decomposes into primitives; each is counted
+        assert prof.stats["exp"].calls >= 1
+        assert prof.stats["div"].calls >= 1
