@@ -1,0 +1,107 @@
+"""Serving-path load benchmark: micro-batching and no-grad dividends.
+
+Two comparisons on the RIHGCN profile configuration, emitted as
+``BENCH_serve_latency.json``:
+
+* **no-grad forward vs grad-mode forward** — the inference fast path
+  skips backward-closure and auxiliary-array allocation, so a single
+  forward should be measurably faster;
+* **micro-batched vs sequential serving** — the same closed-loop client
+  workload against a fusing engine (``max_batch_size=8``) and a
+  one-forward-per-request baseline; batching amortises per-call autodiff
+  dispatch across the ``(B, L, N, D)`` kernels and should carry ≥2×
+  the throughput.
+
+Latency percentiles come from the load generator's per-request
+wall-clock measurements (p50/p95/p99 in milliseconds).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_config import SCALE, emit_bench_record, model_config, pems_data_config
+
+from repro.autodiff import no_grad
+from repro.experiments import build_model, prepare_context
+from repro.serve import export_bundle, load_bundle
+from repro.serve.loadgen import compare_batched_sequential
+
+pytestmark = pytest.mark.bench
+
+MISSING_RATE = 0.4
+CLIENTS = {"fast": 4, "small": 8, "full": 8}[SCALE]
+REQUESTS = {"fast": 10, "small": 25, "full": 60}[SCALE]
+FORWARD_REPEATS = {"fast": 5, "small": 10, "full": 20}[SCALE]
+
+
+def _time_forward(model, x, m, steps, repeats):
+    model(x, m, steps)  # warm-up outside the timed region
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model(x, m, steps)
+    return (time.perf_counter() - start) / repeats * 1e3
+
+
+def test_serve_latency(tmp_path):
+    ctx = prepare_context(pems_data_config(missing_rate=MISSING_RATE), model_config())
+    model = build_model("RIHGCN", ctx)
+    base = str(tmp_path / "rihgcn")
+    export_bundle(model, "RIHGCN", ctx, base)
+    bundle = load_bundle(base)
+
+    # -- no-grad vs grad-mode single forward -------------------------------
+    rng = np.random.default_rng(0)
+    shape = (1, bundle.input_length, bundle.num_nodes, bundle.num_features)
+    x = rng.normal(size=shape)
+    m = np.ones_like(x)
+    steps = np.tile(np.arange(bundle.input_length), (1, 1))
+    model.eval()
+    grad_ms = _time_forward(model, x, m, steps, FORWARD_REPEATS)
+    with no_grad():
+        nograd_ms = _time_forward(model, x, m, steps, FORWARD_REPEATS)
+    assert nograd_ms < grad_ms, (
+        f"no-grad forward ({nograd_ms:.2f}ms) should beat grad-mode "
+        f"({grad_ms:.2f}ms)"
+    )
+
+    # -- micro-batched vs sequential closed-loop serving -------------------
+    comparison = compare_batched_sequential(
+        bundle,
+        num_clients=CLIENTS,
+        requests_per_client=REQUESTS,
+        max_batch_size=8,
+        max_wait_s=0.004,
+    )
+    ratio = comparison["batched_over_sequential_throughput"]
+    assert comparison["sequential"]["errors"] == 0
+    assert comparison["batched"]["errors"] == 0
+    # The acceptance target is >=2x on the profile config; keep the assert
+    # a little looser so a loaded CI machine doesn't flake the bench.
+    assert ratio >= 1.5, f"micro-batching ratio {ratio:.2f} below threshold"
+
+    seq, bat = comparison["sequential"], comparison["batched"]
+    print()
+    print(f"no-grad forward: {nograd_ms:.2f}ms vs grad-mode {grad_ms:.2f}ms "
+          f"({grad_ms / nograd_ms:.2f}x)")
+    print(f"sequential: {seq['throughput_rps']:.0f} req/s "
+          f"p50 {seq['latency_ms_p50']:.1f}ms p99 {seq['latency_ms_p99']:.1f}ms")
+    print(f"batched:    {bat['throughput_rps']:.0f} req/s "
+          f"p50 {bat['latency_ms_p50']:.1f}ms p99 {bat['latency_ms_p99']:.1f}ms "
+          f"(mean batch {bat['mean_batch_size']:.1f})")
+    print(f"throughput ratio: {ratio:.2f}x")
+
+    emit_bench_record("serve_latency", {
+        "model": "RIHGCN",
+        "dataset": "pems",
+        "missing_rate": MISSING_RATE,
+        "num_clients": CLIENTS,
+        "requests_per_client": REQUESTS,
+        "forward_grad_ms": grad_ms,
+        "forward_nograd_ms": nograd_ms,
+        "forward_nograd_speedup": grad_ms / nograd_ms,
+        "sequential": seq,
+        "batched": bat,
+        "batched_over_sequential_throughput": ratio,
+    })

@@ -16,9 +16,10 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.training` -- trainer and metrics
 * :mod:`repro.telemetry` -- metric registry, op profiler, trainer callbacks
 * :mod:`repro.experiments` -- one entry point per paper table/figure
+* :mod:`repro.serve` -- online inference: bundles, streaming state, HTTP
 """
 
-from .autodiff import Tensor, no_grad
+from .autodiff import Tensor, inference_mode, no_grad
 from .datasets import TrafficDataset, make_pems_dataset, make_stampede_dataset
 from .graphs import HeterogeneousGraphSet, build_heterogeneous_graphs
 from .models import RecurrentImputationForecaster, rihgcn
@@ -30,6 +31,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "TrafficDataset",
     "make_pems_dataset",
     "make_stampede_dataset",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as sp
 
+from . import tensor as _tensor_mod
 from .tensor import Tensor
 
 __all__ = ["sparse_matmul"]
@@ -44,6 +45,8 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
         raise TypeError(f"expected a scipy.sparse matrix, got {type(matrix)}")
     csr = matrix.tocsr()
     data = _apply(csr, x.data)
+    if not _tensor_mod._GRAD_ENABLED:
+        return Tensor(data)
     transpose = csr.T.tocsr()
 
     def backward(grad, t=transpose):

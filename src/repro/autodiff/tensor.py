@@ -28,6 +28,7 @@ import numpy as np
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "enable_grad",
     "is_grad_enabled",
     "as_tensor",
@@ -46,8 +47,13 @@ _GRAD_ENABLED = True
 def no_grad():
     """Context manager that disables graph construction.
 
-    Used during evaluation/prediction so that no backward closures are
-    retained and memory stays flat.
+    Inside the context every op takes a fast dispatch path: no backward
+    closure is allocated, no auxiliary arrays (masks, permutations, slice
+    tables) are materialised for the backward pass, and the result tensor
+    carries no parents. Forward values are bitwise-identical to grad-mode
+    outputs — only the tape is skipped. Used during evaluation/prediction
+    and by the serving stack so memory stays flat and per-op overhead is
+    minimal.
     """
     global _GRAD_ENABLED
     previous = _GRAD_ENABLED
@@ -56,6 +62,11 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+#: Alias for :func:`no_grad` — the serving stack calls it ``inference_mode``
+#: to mirror the torch naming; both take the same fast dispatch path.
+inference_mode = no_grad
 
 
 @contextlib.contextmanager
@@ -264,6 +275,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(self.data + other.data)
         data = self.data + other.data
 
         def backward(g, a=self, b=other):
@@ -275,6 +288,8 @@ class Tensor:
 
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(self.data - other.data)
         data = self.data - other.data
 
         def backward(g, a=self, b=other):
@@ -287,6 +302,8 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(self.data * other.data)
         data = self.data * other.data
 
         def backward(g, a=self, b=other):
@@ -301,6 +318,8 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(self.data / other.data)
         data = self.data / other.data
 
         def backward(g, a=self, b=other):
@@ -315,6 +334,9 @@ class Tensor:
         return as_tensor(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(-self.data)
+
         def backward(g):
             return (-g,)
 
@@ -323,6 +345,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
+        if not _GRAD_ENABLED:
+            return Tensor(self.data ** exponent)
         data = self.data ** exponent
 
         def backward(g, a=self, n=exponent):
@@ -347,6 +371,8 @@ class Tensor:
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.exp(self.data))
         data = np.exp(self.data)
 
         def backward(g, out=data):
@@ -355,12 +381,17 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.log(self.data))
+
         def backward(g, a=self):
             return (g / a.data,)
 
         return Tensor._make(np.log(self.data), (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.sqrt(self.data))
         data = np.sqrt(self.data)
 
         def backward(g, out=data):
@@ -369,6 +400,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.tanh(self.data))
         data = np.tanh(self.data)
 
         def backward(g, out=data):
@@ -384,6 +417,8 @@ class Tensor:
             np.exp(np.clip(self.data, None, 500))
             / (1.0 + np.exp(np.clip(self.data, None, 500))),
         )
+        if not _GRAD_ENABLED:
+            return Tensor(data)
 
         def backward(g, out=data):
             return (g * out * (1.0 - out),)
@@ -391,6 +426,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.where(self.data > 0, self.data, 0.0))
         mask = self.data > 0
         data = np.where(mask, self.data, 0.0)
 
@@ -403,6 +440,8 @@ class Tensor:
         return self.abs()
 
     def abs(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.abs(self.data))
         sign = np.sign(self.data)
         data = np.abs(self.data)
 
@@ -413,6 +452,8 @@ class Tensor:
 
     def clip(self, low: float | None, high: float | None) -> "Tensor":
         data = np.clip(self.data, low, high)
+        if not _GRAD_ENABLED:
+            return Tensor(data)
         mask = np.ones_like(self.data)
         if low is not None:
             mask = mask * (self.data >= low)
@@ -428,6 +469,8 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(self.data.sum(axis=axis, keepdims=keepdims))
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g, a=self, ax=axis, kd=keepdims):
@@ -439,6 +482,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(self.data.mean(axis=axis, keepdims=keepdims))
         data = self.data.mean(axis=axis, keepdims=keepdims)
         if axis is None:
             count = self.data.size
@@ -455,6 +500,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "mean")
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(self.data.max(axis=axis, keepdims=keepdims))
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g, a=self, ax=axis, kd=keepdims, out=data):
@@ -478,6 +525,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other) -> "Tensor":
         other = as_tensor(other)
+        if not _GRAD_ENABLED:
+            return Tensor(np.matmul(self.data, other.data))
         data = np.matmul(self.data, other.data)
 
         def backward(g, a=self, b=other):
@@ -519,6 +568,8 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        if not _GRAD_ENABLED:
+            return Tensor(self.data.reshape(shape))
         data = self.data.reshape(shape)
 
         def backward(g, orig=self.data.shape):
@@ -531,6 +582,8 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
+        if not _GRAD_ENABLED:
+            return Tensor(self.data.transpose(axes))
         data = self.data.transpose(axes)
         inverse = tuple(np.argsort(axes))
 
@@ -545,6 +598,8 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def squeeze(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.squeeze(self.data, axis=axis))
         data = np.squeeze(self.data, axis=axis)
 
         def backward(g, ax=axis):
@@ -553,6 +608,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "squeeze")
 
     def unsqueeze(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(np.expand_dims(self.data, axis))
         data = np.expand_dims(self.data, axis)
 
         def backward(g, ax=axis):
@@ -562,6 +619,8 @@ class Tensor:
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
         data = np.broadcast_to(self.data, shape)
+        if not _GRAD_ENABLED:
+            return Tensor(data.copy())
 
         def backward(g, orig=self.data.shape):
             return (_unbroadcast(g, orig),)
@@ -571,6 +630,8 @@ class Tensor:
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad; ``pad_width`` follows ``numpy.pad`` conventions."""
         data = np.pad(self.data, pad_width)
+        if not _GRAD_ENABLED:
+            return Tensor(data)
         slices = tuple(
             slice(before, before + dim)
             for (before, _after), dim in zip(pad_width, self.data.shape)
@@ -582,6 +643,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "pad")
 
     def __getitem__(self, index) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(self.data[index])
         data = self.data[index]
 
         def backward(g, a=self, idx=index):
@@ -598,6 +661,8 @@ class Tensor:
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
+    if not _GRAD_ENABLED:
+        return Tensor(np.concatenate([t.data for t in tensors], axis=axis))
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -616,6 +681,8 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
+    if not _GRAD_ENABLED:
+        return Tensor(np.stack([t.data for t in tensors], axis=axis))
     data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(g, ax=axis, n=len(tensors)):
@@ -630,6 +697,8 @@ def where(condition, a, b) -> Tensor:
     cond = cond.astype(bool)
     a = as_tensor(a)
     b = as_tensor(b)
+    if not _GRAD_ENABLED:
+        return Tensor(np.where(cond, a.data, b.data))
     data = np.where(cond, a.data, b.data)
 
     def backward(g, c=cond, ta=a, tb=b):
@@ -645,6 +714,8 @@ def maximum(a, b) -> Tensor:
     """Elementwise maximum; ties send gradient to the first operand."""
     a = as_tensor(a)
     b = as_tensor(b)
+    if not _GRAD_ENABLED:
+        return Tensor(np.where(a.data >= b.data, a.data, b.data))
     take_a = a.data >= b.data
     data = np.where(take_a, a.data, b.data)
 
@@ -661,6 +732,8 @@ def minimum(a, b) -> Tensor:
     """Elementwise minimum; ties send gradient to the first operand."""
     a = as_tensor(a)
     b = as_tensor(b)
+    if not _GRAD_ENABLED:
+        return Tensor(np.where(a.data <= b.data, a.data, b.data))
     take_a = a.data <= b.data
     data = np.where(take_a, a.data, b.data)
 

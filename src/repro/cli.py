@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli fig4 --graphs 2 4 8
     python -m repro.cli fig5 --lambdas 0.001 1 20
     python -m repro.cli --scale full table1-missing   # paper-closer scale
+    python -m repro.cli export --model RIHGCN --output artifacts/rihgcn
+    python -m repro.cli serve --bundle artifacts/rihgcn --port 8787
 
 Every subcommand prints the corresponding paper table/figure rows. The
 ``--scale`` flag trades fidelity for speed (fast/small/full); individual
@@ -18,6 +20,7 @@ knobs (nodes, days, epochs, models) can override it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import (
@@ -93,6 +96,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=15, help="hotspot rows to print")
     p.add_argument("--run-record", type=str, default="runs/profile.jsonl",
                    help="JSONL run-record path")
+
+    p = sub.add_parser(
+        "export",
+        help="train a model and write a serving bundle (.npz + .json header)",
+    )
+    p.add_argument("--model", default="RIHGCN", help="registered neural model name")
+    p.add_argument("--missing-rate", type=float, default=0.4)
+    p.add_argument("--output", type=str, default=None,
+                   help="bundle base path (default: artifacts/<model>-<scale>)")
+    p.add_argument("--skip-training", action="store_true",
+                   help="export with freshly initialised weights (smoke tests)")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve forecasts from a bundle over HTTP (see docs/SERVING.md)",
+    )
+    p.add_argument("--bundle", required=True, help="bundle base path from 'export'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port; 0 picks an ephemeral port (printed on start)")
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="requests fused per forward pass (1 = sequential)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="how long a forming batch waits for followers")
 
     p = sub.add_parser("report", help="run everything, emit a Markdown report")
     p.add_argument("--output", type=str, default="-",
@@ -214,6 +241,53 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(f"run record appended to {args.run_record} "
               f"(run_id={recorder.run_id}, {history.num_epochs} epochs)")
+    elif args.command == "export":
+        from dataclasses import replace
+
+        from .experiments import build_model, is_statistical, prepare_context
+        from .serve import export_bundle
+        from .training import Trainer
+
+        if is_statistical(args.model):
+            print(f"{args.model} is a closed-form baseline; bundles cover the "
+                  f"neural registry", file=sys.stderr)
+            return 2
+        ctx = prepare_context(
+            replace(data_cfg, missing_rate=args.missing_rate), model_cfg
+        )
+        model = build_model(args.model, ctx)
+        if args.skip_training:
+            print(f"exporting {args.model} with untrained weights (--skip-training)")
+        else:
+            print(f"training {args.model}: {trainer_cfg.max_epochs} epochs, "
+                  f"{ctx.train_windows.num_windows} train windows")
+            history = Trainer(model, trainer_cfg).fit(
+                ctx.train_windows, ctx.val_windows
+            )
+            print(f"trained {history.num_epochs} epochs, "
+                  f"final val loss {history.val_loss[-1]:.4f}")
+        output = args.output or f"artifacts/{args.model.replace(' ', '-')}-{args.scale}"
+        out_dir = os.path.dirname(output)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        header_path = export_bundle(model, args.model, ctx, output)
+        print(f"bundle written to {header_path} "
+              f"(+ {os.path.basename(output)}.npz)")
+    elif args.command == "serve":
+        from .serve import ServeApp, load_bundle, run_server
+
+        bundle = load_bundle(args.bundle)
+        print(f"loaded {bundle.model_name} bundle: {bundle.num_nodes} nodes, "
+              f"{bundle.num_features} features, window {bundle.input_length} "
+              f"-> horizon {bundle.output_length}")
+        store = bundle.make_store()
+        engine = bundle.make_engine(
+            store=store,
+            max_batch_size=args.max_batch_size,
+            max_wait_s=args.max_wait_ms / 1e3,
+        )
+        app = ServeApp(bundle, store=store, engine=engine)
+        run_server(app, host=args.host, port=args.port)
     elif args.command == "report":
         from .experiments import ReportConfig, generate_report
 

@@ -18,7 +18,7 @@ from .loss import (
 from .module import Module, Parameter
 from .norm import LayerNorm
 from .rnn import GRUCell, LSTM, LSTMCell
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import checkpoint_path, load_checkpoint, save_checkpoint
 from .temporal import CausalConv1d, GatedTCNBlock
 
 __all__ = [
@@ -54,4 +54,5 @@ __all__ = [
     "JointLoss",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_path",
 ]

@@ -3,6 +3,12 @@
 Keeps the library dependency-free (numpy's own format) while supporting
 the deployment story the paper mentions (the model "will be built into a
 transportation application system").
+
+Paths are normalised to a ``.npz`` suffix on both the save and load
+side: ``numpy.savez`` silently appends ``.npz`` when the suffix is
+missing, so without normalisation ``save_checkpoint(model, "ckpt")``
+followed by ``load_checkpoint(model, "ckpt")`` would raise
+``FileNotFoundError`` even though the archive exists on disk.
 """
 
 from __future__ import annotations
@@ -13,28 +19,66 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_path"]
 
 
-def save_checkpoint(model: Module, path: str | os.PathLike) -> None:
+def checkpoint_path(path: str | os.PathLike) -> str:
+    """Canonical on-disk location for a checkpoint ``path``.
+
+    Mirrors ``numpy.savez``'s suffix behaviour explicitly so save and
+    load always agree on the file name.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def save_checkpoint(model: Module, path: str | os.PathLike) -> str:
     """Write every parameter of ``model`` to ``path`` (``.npz``).
 
     Dotted parameter names are preserved as archive keys, so any model
-    with the same architecture can load the file back.
+    with the same architecture can load the file back. Returns the
+    normalised path actually written.
     """
     state = model.state_dict()
     if not state:
         raise ValueError("model has no parameters to save")
+    path = checkpoint_path(path)
     np.savez(path, **state)
+    return path
 
 
 def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
-    Raises ``KeyError``/``ValueError`` on architecture mismatch (missing
-    parameter or wrong shape) — a silent partial load is never performed.
+    Raises ``KeyError``/``ValueError`` on architecture mismatch, naming
+    the checkpoint file and the first offending parameter (plus how many
+    more are affected) — a silent partial load is never performed.
     """
+    path = checkpoint_path(path)
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
+
+    expected = list(model.named_parameters())
+    missing = [name for name, _param in expected if name not in state]
+    if missing:
+        raise KeyError(
+            f"checkpoint {path!r} is missing parameter {missing[0]!r}"
+            + (f" (and {len(missing) - 1} more)" if len(missing) > 1 else "")
+            + f"; archive holds {len(state)} arrays, model expects {len(expected)}"
+        )
+    mismatched = [
+        (name, param.shape, np.asarray(state[name]).shape)
+        for name, param in expected
+        if np.asarray(state[name]).shape != param.shape
+    ]
+    if mismatched:
+        name, want, got = mismatched[0]
+        raise ValueError(
+            f"checkpoint {path!r} has shape {got} for parameter {name!r}, "
+            f"model expects {want}"
+            + (f" (and {len(mismatched) - 1} more mismatches)" if len(mismatched) > 1 else "")
+        )
     model.load_state_dict(state)
     return model

@@ -1,0 +1,40 @@
+"""Online serving: model bundles, streaming state, micro-batched engine,
+HTTP front-end and load benchmarking.
+
+The offline story (train → evaluate on windowed arrays) gets a
+deployment counterpart::
+
+    from repro.serve import export_bundle, load_bundle, ServeApp, run_server
+
+    export_bundle(model, "RIHGCN", ctx, "artifacts/rihgcn-demo")
+    bundle = load_bundle("artifacts/rihgcn-demo")
+    run_server(ServeApp(bundle), port=8787)
+
+See ``docs/SERVING.md`` for the full walk-through and
+``examples/serve_quickstart.py`` for a runnable end-to-end script.
+"""
+
+from .artifact import FORMAT_VERSION, ModelBundle, export_bundle, load_bundle
+from .cache import LRUCache
+from .engine import Forecast, ForecastEngine
+from .http import ServeApp, make_server, run_server
+from .loadgen import LoadReport, compare_batched_sequential, run_load
+from .state import StateStore, StateWindow
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ModelBundle",
+    "export_bundle",
+    "load_bundle",
+    "LRUCache",
+    "Forecast",
+    "ForecastEngine",
+    "ServeApp",
+    "make_server",
+    "run_server",
+    "LoadReport",
+    "run_load",
+    "compare_batched_sequential",
+    "StateStore",
+    "StateWindow",
+]

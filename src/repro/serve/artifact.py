@@ -1,0 +1,303 @@
+"""Versioned model bundles: everything a server needs in two files.
+
+A bundle is a ``.npz`` archive (weights, fitted scaler statistics, graph
+arrays) plus a human-readable ``.json`` header (format version, model
+name, configs, shapes) sitting next to it. The split keeps the header
+inspectable with any text editor while the arrays stay in numpy's own
+dependency-free format.
+
+Loading rebuilds the architecture through the same
+:data:`repro.experiments.registry.NEURAL_MODELS` builders used for
+training — the bundle carries a duck-typed stand-in for the experiment
+context, so training data is *not* needed at serving time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, fields
+
+import numpy as np
+
+from ..datasets import ZScoreScaler
+from ..experiments.config import DataConfig, ModelConfig
+from ..experiments.registry import NEURAL_MODELS
+from ..graphs import HeterogeneousGraphSet, TimelinePartition
+from ..models.base import NeuralForecaster
+from .engine import ForecastEngine
+from .state import StateStore
+
+__all__ = ["FORMAT_VERSION", "ModelBundle", "export_bundle", "load_bundle"]
+
+#: bumped on any incompatible change to the bundle layout
+FORMAT_VERSION = 1
+
+_PARAM_PREFIX = "param/"
+
+
+def _bundle_paths(path: str | os.PathLike) -> tuple[str, str]:
+    """(arrays, header) file names for a bundle base ``path``."""
+    base = os.fspath(path)
+    if base.endswith(".npz") or base.endswith(".json"):
+        base = base[: base.rfind(".")]
+    return base + ".npz", base + ".json"
+
+
+@dataclass
+class _RebuildContext:
+    """Duck-typed :class:`ExperimentContext` stand-in for model builders.
+
+    Registry builders only touch ``data_config``, ``model_config``,
+    ``num_nodes``, ``num_features``, ``adjacency`` and ``graphs()`` —
+    exactly what the bundle stores.
+    """
+
+    data_config: DataConfig
+    model_config: ModelConfig
+    num_nodes: int
+    num_features: int
+    adjacency: np.ndarray
+    graph_set: HeterogeneousGraphSet | None
+
+    def graphs(self, num_intervals: int | None = None) -> HeterogeneousGraphSet:
+        if self.graph_set is None:
+            raise ValueError(
+                "bundle holds no heterogeneous graph set; it was exported "
+                "from a model that does not use one"
+            )
+        return self.graph_set
+
+
+@dataclass
+class ModelBundle:
+    """A loaded bundle, ready to serve."""
+
+    model: NeuralForecaster
+    scaler: ZScoreScaler
+    model_name: str
+    data_config: DataConfig
+    model_config: ModelConfig
+    adjacency: np.ndarray
+    graph_set: HeterogeneousGraphSet | None
+    header: dict
+
+    @property
+    def num_nodes(self) -> int:
+        return self.model.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        return self.model.num_features
+
+    @property
+    def input_length(self) -> int:
+        return self.model.input_length
+
+    @property
+    def output_length(self) -> int:
+        return self.model.output_length
+
+    def make_store(self, start_step: int = 0) -> StateStore:
+        """A state store dimensioned for this bundle's model."""
+        return StateStore(
+            num_nodes=self.num_nodes,
+            num_features=self.num_features,
+            input_length=self.input_length,
+            steps_per_day=self.data_config.steps_per_day,
+            start_step=start_step,
+        )
+
+    def make_engine(self, store: StateStore | None = None, **engine_kwargs) -> ForecastEngine:
+        """A forecast engine over ``store`` (a fresh one by default)."""
+        return ForecastEngine(
+            model=self.model,
+            scaler=self.scaler,
+            store=store if store is not None else self.make_store(),
+            **engine_kwargs,
+        )
+
+
+def export_bundle(
+    model: NeuralForecaster,
+    model_name: str,
+    ctx,
+    path: str | os.PathLike,
+) -> str:
+    """Write ``model`` (trained in experiment context ``ctx``) as a bundle.
+
+    ``ctx`` is an :class:`~repro.experiments.context.ExperimentContext`
+    (or anything with the same ``data_config`` / ``model_config`` /
+    ``scaler`` / ``adjacency`` surface). Returns the header path; the
+    array archive lands next to it with a ``.npz`` suffix.
+    """
+    if model_name not in NEURAL_MODELS:
+        raise KeyError(
+            f"unknown model {model_name!r}; bundles cover the neural "
+            f"registry: {sorted(NEURAL_MODELS)}"
+        )
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to export")
+    scaler: ZScoreScaler = ctx.scaler
+    if scaler.mean_ is None or scaler.std_ is None:
+        raise ValueError("context scaler is not fitted")
+
+    arrays: dict[str, np.ndarray] = {
+        _PARAM_PREFIX + name: value for name, value in state.items()
+    }
+    arrays["scaler/mean"] = np.asarray(scaler.mean_)
+    arrays["scaler/std"] = np.asarray(scaler.std_)
+    arrays["graph/adjacency"] = np.asarray(ctx.adjacency)
+
+    graph_header = None
+    # Only RIHGCN-family builders consume the heterogeneous graph set;
+    # exporting it for other models would drag in training data for
+    # nothing, so it rides along exactly when the builder needs it.
+    if model_name == "RIHGCN":
+        graph_set: HeterogeneousGraphSet = ctx.graphs()
+        for idx, adj in enumerate(graph_set.temporal):
+            arrays[f"graph/temporal/{idx}"] = np.asarray(adj)
+        arrays["graph/geographic"] = np.asarray(graph_set.geographic)
+        graph_header = {
+            "num_temporal": graph_set.num_temporal,
+            "membership_mode": graph_set.membership_mode,
+            "membership_temperature": graph_set.membership_temperature,
+            "partition": {
+                "boundaries": [int(b) for b in graph_set.partition.boundaries],
+                "steps_per_day": int(graph_set.partition.steps_per_day),
+                "score": float(graph_set.partition.score),
+            },
+        }
+
+    npz_path, json_path = _bundle_paths(path)
+    parent = os.path.dirname(npz_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "model_name": model_name,
+        "data_config": asdict(ctx.data_config),
+        "model_config": asdict(ctx.model_config),
+        "num_nodes": int(model.num_nodes),
+        "num_features": int(model.num_features),
+        "input_length": int(model.input_length),
+        "output_length": int(model.output_length),
+        "scaler": {"per_node": bool(scaler.per_node)},
+        "graphs": graph_header,
+        "num_parameters": len(state),
+        "arrays_file": os.path.basename(npz_path),
+    }
+    np.savez(npz_path, **arrays)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(header, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return json_path
+
+
+def _config_from_dict(cls, payload: dict):
+    """Rebuild a config dataclass, ignoring unknown header keys."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def load_bundle(path: str | os.PathLike) -> ModelBundle:
+    """Load a bundle written by :func:`export_bundle`.
+
+    Verifies the format version and parameter shapes; the rebuilt model
+    carries exactly the exported weights.
+    """
+    npz_path, json_path = _bundle_paths(path)
+    with open(json_path, encoding="utf-8") as handle:
+        header = json.load(handle)
+
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"bundle {json_path!r} has format version {version!r}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    model_name = header["model_name"]
+    if model_name not in NEURAL_MODELS:
+        raise KeyError(
+            f"bundle {json_path!r} names unknown model {model_name!r}"
+        )
+
+    with np.load(npz_path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+
+    data_config = _config_from_dict(DataConfig, header["data_config"])
+    model_config = _config_from_dict(ModelConfig, header["model_config"])
+    adjacency = arrays["graph/adjacency"]
+
+    graph_set = None
+    graph_header = header.get("graphs")
+    if graph_header is not None:
+        partition = TimelinePartition(
+            boundaries=tuple(graph_header["partition"]["boundaries"]),
+            steps_per_day=graph_header["partition"]["steps_per_day"],
+            score=graph_header["partition"]["score"],
+        )
+        temporal = [
+            arrays[f"graph/temporal/{idx}"]
+            for idx in range(graph_header["num_temporal"])
+        ]
+        graph_set = HeterogeneousGraphSet(
+            geographic=arrays["graph/geographic"],
+            temporal=temporal,
+            partition=partition,
+            membership_mode=graph_header["membership_mode"],
+            membership_temperature=graph_header["membership_temperature"],
+        )
+
+    rebuild = _RebuildContext(
+        data_config=data_config,
+        model_config=model_config,
+        num_nodes=header["num_nodes"],
+        num_features=header["num_features"],
+        adjacency=adjacency,
+        graph_set=graph_set,
+    )
+    model = NEURAL_MODELS[model_name](rebuild)
+
+    state = {
+        name[len(_PARAM_PREFIX):]: value
+        for name, value in arrays.items()
+        if name.startswith(_PARAM_PREFIX)
+    }
+    expected = list(model.named_parameters())
+    missing = [name for name, _param in expected if name not in state]
+    if missing:
+        raise KeyError(
+            f"bundle {npz_path!r} is missing parameter {missing[0]!r}"
+            + (f" (and {len(missing) - 1} more)" if len(missing) > 1 else "")
+        )
+    mismatched = [
+        (name, param.shape, state[name].shape)
+        for name, param in expected
+        if state[name].shape != param.shape
+    ]
+    if mismatched:
+        name, want, got = mismatched[0]
+        raise ValueError(
+            f"bundle {npz_path!r} has shape {got} for parameter {name!r}, "
+            f"rebuilt model expects {want}"
+            + (f" (and {len(mismatched) - 1} more mismatches)" if len(mismatched) > 1 else "")
+        )
+    model.load_state_dict(state)
+    model.eval()
+
+    scaler = ZScoreScaler(per_node=header["scaler"]["per_node"])
+    scaler.mean_ = arrays["scaler/mean"]
+    scaler.std_ = arrays["scaler/std"]
+
+    return ModelBundle(
+        model=model,
+        scaler=scaler,
+        model_name=model_name,
+        data_config=data_config,
+        model_config=model_config,
+        adjacency=adjacency,
+        graph_set=graph_set,
+        header=header,
+    )

@@ -1,0 +1,281 @@
+"""Micro-batched online forecast engine.
+
+The engine owns the full request path from a :class:`StateStore`
+snapshot to a forecast in original units:
+
+1. **cache** — forecasts are pure in ``(state version, horizon)``; an
+   LRU in front of the model answers repeats between observations;
+2. **micro-batching** — concurrent requests landing within
+   ``max_wait_s`` of each other (up to ``max_batch_size``) are stacked
+   into one ``(B, L, N, D)`` forward pass, amortising per-call dispatch
+   over the vectorised numpy kernels; identical state versions inside a
+   batch are deduplicated and share one forward row;
+3. **no-grad inference** — every forward runs under
+   :func:`repro.autodiff.inference_mode`, so no backward graph or
+   closures are allocated on the hot path.
+
+Telemetry lands in a :class:`repro.telemetry.MetricRegistry`
+(``serve/requests``, ``serve/cache_hits``, ``serve/forwards``,
+``serve/batch_size``, ``serve/latency_ms``), which the HTTP
+``/metrics`` endpoint snapshots.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import inference_mode
+from ..datasets import ZScoreScaler
+from ..models.base import NeuralForecaster
+from ..telemetry import MetricRegistry, get_registry
+from .cache import LRUCache
+from .state import StateStore, StateWindow
+
+__all__ = ["Forecast", "ForecastEngine"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """One answered forecast request."""
+
+    prediction: np.ndarray  # (horizon, N, D_out), original units
+    horizon: int
+    version: int  # state version the forecast was computed at
+    newest_step: int  # absolute step of the last observed slot
+    cached: bool  # answered from the LRU without a model forward
+
+    def to_json_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "version": self.version,
+            "newest_step": self.newest_step,
+            "cached": self.cached,
+            "prediction": self.prediction.tolist(),
+        }
+
+
+class _Request:
+    __slots__ = ("window", "horizon", "future", "submitted")
+
+    def __init__(self, window: StateWindow, horizon: int, submitted: float):
+        self.window = window
+        self.horizon = horizon
+        self.future: "Future[Forecast]" = Future()
+        self.submitted = submitted
+
+
+class ForecastEngine:
+    """Serves forecasts for one sensor network from streaming state.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`NeuralForecaster` (switched to eval mode).
+    scaler:
+        The fitted :class:`ZScoreScaler` from training — raw store
+        values are transformed on the way in, predictions inverse-
+        transformed on the way out, reproducing the offline pipeline.
+    store:
+        The live :class:`StateStore` (shared with the observation feed).
+    max_batch_size:
+        Upper bound on requests fused into one forward pass; 1 disables
+        micro-batching (the sequential dispatch baseline).
+    max_wait_s:
+        How long the dispatcher holds the first request of a batch open
+        for followers (the classic size-or-deadline queue).
+    cache_size:
+        LRU capacity over ``(version, horizon)`` keys; 0 disables.
+    """
+
+    def __init__(
+        self,
+        model: NeuralForecaster,
+        scaler: ZScoreScaler,
+        store: StateStore,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        cache_size: int = 256,
+        registry: MetricRegistry | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if store.input_length != model.input_length:
+            raise ValueError(
+                f"store window length {store.input_length} != "
+                f"model input length {model.input_length}"
+            )
+        self.model = model.eval()
+        self.scaler = scaler
+        self.store = store
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.cache = LRUCache(cache_size) if cache_size > 0 else None
+        self.registry = registry if registry is not None else get_registry()
+        self._queue: "queue.Queue[_Request | None]" = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._forward_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ForecastEngine":
+        """Spawn the batching dispatcher; requests then queue for fusion."""
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._dispatch_loop, name="forecast-engine", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and join the dispatcher (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            self._queue.put(None)
+            self._worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "ForecastEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def forecast(self, horizon: int | None = None, timeout: float | None = 30.0) -> Forecast:
+        """Answer one forecast request (thread-safe).
+
+        With the dispatcher running the request is queued for micro-
+        batching; otherwise it is computed inline. ``horizon`` defaults
+        to the model's full output length.
+        """
+        horizon = self.model.output_length if horizon is None else int(horizon)
+        if not 1 <= horizon <= self.model.output_length:
+            raise ValueError(
+                f"horizon {horizon} out of range 1..{self.model.output_length}"
+            )
+        start = time.perf_counter()
+        self.registry.counter("serve/requests").inc()
+        window = self.store.window()
+        cached = self._cache_lookup(window.version, horizon)
+        if cached is not None:
+            self.registry.counter("serve/cache_hits").inc()
+            self._observe_latency(start)
+            return cached
+        if self.running:
+            request = _Request(window, horizon, start)
+            self._queue.put(request)
+            result = request.future.result(timeout=timeout)
+        else:
+            result = self._answer([_Request(window, horizon, start)])[0]
+        self._observe_latency(start)
+        return result
+
+    def _observe_latency(self, start: float) -> None:
+        self.registry.histogram("serve/latency_ms").observe(
+            (time.perf_counter() - start) * 1e3
+        )
+
+    def _cache_lookup(self, version: int, horizon: int) -> Forecast | None:
+        if self.cache is None:
+            return None
+        hit = self.cache.get((version, horizon))
+        if hit is None:
+            return None
+        return Forecast(
+            prediction=hit.prediction,
+            horizon=horizon,
+            version=version,
+            newest_step=hit.newest_step,
+            cached=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is None:
+                return
+            batch = [head]
+            deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.perf_counter()
+                try:
+                    item = self._queue.get(
+                        timeout=max(remaining, 0.0) if remaining > 0 else None,
+                        block=remaining > 0,
+                    )
+                except queue.Empty:
+                    break
+                if item is None:
+                    # Answer what we have, then shut down.
+                    self._finish(batch)
+                    return
+                batch.append(item)
+            self._finish(batch)
+
+    def _finish(self, batch: list[_Request]) -> None:
+        try:
+            results = self._answer(batch)
+        except Exception as error:  # propagate to every waiter
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        for request, result in zip(batch, results):
+            request.future.set_result(result)
+
+    def _answer(self, batch: list[_Request]) -> list[Forecast]:
+        """Run one fused forward for the batch and fan results out."""
+        # Deduplicate identical state versions: concurrent requests
+        # between two observations share one forward row.
+        unique: dict[int, int] = {}
+        windows: list[StateWindow] = []
+        for request in batch:
+            if request.window.version not in unique:
+                unique[request.window.version] = len(windows)
+                windows.append(request.window)
+        predictions = self._predict(windows)  # (U, T_out, N, D_out)
+
+        self.registry.counter("serve/batches").inc()
+        self.registry.histogram("serve/batch_size").observe(len(batch))
+
+        results = []
+        for request in batch:
+            full = predictions[unique[request.window.version]]
+            forecast = Forecast(
+                prediction=full[: request.horizon].copy(),
+                horizon=request.horizon,
+                version=request.window.version,
+                newest_step=request.window.newest_step,
+                cached=False,
+            )
+            if self.cache is not None:
+                self.cache.put(
+                    (request.window.version, request.horizon), forecast
+                )
+            results.append(forecast)
+        return results
+
+    def _predict(self, windows: list[StateWindow]) -> np.ndarray:
+        """No-grad batched forward over window snapshots, original units."""
+        x = np.stack([w.x for w in windows])  # (U, L, N, D) raw units
+        m = np.stack([w.m for w in windows])
+        steps = np.stack([w.steps_of_day for w in windows])
+        x_scaled = self.scaler.transform(x, m)
+        self.registry.counter("serve/forwards").inc()
+        with self._forward_lock, inference_mode():
+            out = self.model(x_scaled, m, steps)
+        return self.scaler.inverse_transform(out.prediction.data)

@@ -1,0 +1,201 @@
+"""Stdlib HTTP front-end for the forecast engine.
+
+A deliberately small JSON API on :class:`http.server.ThreadingHTTPServer`
+(no web framework — the repo stays dependency-free):
+
+* ``POST /observe`` — ingest a reading. Body is either a full-network
+  observation ``{"step": 17, "values": [[...], ...], "mask": [[...]]}``
+  (``mask`` optional) or a single sensor ``{"step": 17, "node": 3,
+  "features": [61.2]}``.
+* ``GET /forecast?horizon=12`` — forecast from the current state, in
+  original units; micro-batched with concurrent requests.
+* ``GET /healthz`` — liveness plus state summary (warm-up, version).
+* ``GET /metrics`` — the telemetry registry snapshot (PR-1 counters and
+  histograms, including the ``serve/*`` series).
+
+Threading model: each connection gets a handler thread (the stdlib
+mixin); handlers funnel forecasts through the engine's batching queue
+and observations through the store's lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from ..telemetry import MetricRegistry, get_registry
+from .artifact import ModelBundle
+from .engine import ForecastEngine
+from .state import StateStore
+
+__all__ = ["ServeApp", "make_server", "run_server"]
+
+
+class ServeApp:
+    """Routes requests onto a bundle's store and engine."""
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        store: StateStore | None = None,
+        engine: ForecastEngine | None = None,
+        registry: MetricRegistry | None = None,
+    ):
+        self.bundle = bundle
+        self.registry = registry if registry is not None else get_registry()
+        self.store = store if store is not None else bundle.make_store()
+        self.engine = (
+            engine
+            if engine is not None
+            else bundle.make_engine(store=self.store, registry=self.registry)
+        )
+        if self.engine.store is not self.store:
+            raise ValueError("engine and app must share one state store")
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies: return (status, payload) pairs.
+    # ------------------------------------------------------------------
+    def healthz(self) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "model": self.bundle.model_name,
+            "num_nodes": self.bundle.num_nodes,
+            "num_features": self.bundle.num_features,
+            "input_length": self.bundle.input_length,
+            "output_length": self.bundle.output_length,
+            "warm": self.store.warm,
+            "version": self.store.version,
+            "newest_step": self.store.newest_step,
+            "observations": self.store.observations,
+        }
+
+    def metrics(self) -> tuple[int, dict]:
+        return 200, self.registry.snapshot()
+
+    def observe(self, payload: dict) -> tuple[int, dict]:
+        if "step" not in payload:
+            return 400, {"error": "observation needs an integer 'step'"}
+        step = int(payload["step"])
+        if "node" in payload:
+            features = payload.get("features", payload.get("value"))
+            if features is None:
+                return 400, {"error": "per-sensor observation needs 'features'"}
+            accepted = self.store.observe_sensor(
+                step, int(payload["node"]), np.asarray(features, dtype=np.float64)
+            )
+        elif "values" in payload:
+            values = np.asarray(payload["values"], dtype=np.float64)
+            if values.ndim == 1 and self.store.num_features == 1:
+                values = values[:, None]
+            mask = payload.get("mask")
+            if mask is not None:
+                mask = np.asarray(mask, dtype=np.float64)
+                if mask.ndim == 1 and self.store.num_features == 1:
+                    mask = mask[:, None]
+            accepted = self.store.observe(step, values, mask)
+        else:
+            return 400, {"error": "observation needs 'values' or 'node'+'features'"}
+        return 200, {
+            "accepted": accepted,
+            "version": self.store.version,
+            "newest_step": self.store.newest_step,
+        }
+
+    def forecast(self, horizon: int | None) -> tuple[int, dict]:
+        result = self.engine.forecast(horizon=horizon)
+        return 200, result.to_json_dict()
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes | None) -> tuple[int, dict]:
+        """Dispatch one request; exceptions become JSON error responses."""
+        parsed = urlparse(path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if method == "GET" and route == "/healthz":
+                return self.healthz()
+            if method == "GET" and route == "/metrics":
+                return self.metrics()
+            if method == "GET" and route == "/forecast":
+                query = parse_qs(parsed.query)
+                horizon = query.get("horizon")
+                return self.forecast(int(horizon[0]) if horizon else None)
+            if method == "POST" and route == "/observe":
+                try:
+                    payload = json.loads(body or b"")
+                except json.JSONDecodeError as error:
+                    return 400, {"error": f"invalid JSON body: {error}"}
+                if not isinstance(payload, dict):
+                    return 400, {"error": "observation body must be a JSON object"}
+                return self.observe(payload)
+            return 404, {"error": f"no route {method} {route}"}
+        except (ValueError, KeyError, TypeError) as error:
+            return 400, {"error": str(error)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: ServeApp  # injected via the make_server subclass
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test/CI output clean; telemetry covers observability
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._respond(*self.app.handle("GET", self.path, None))
+
+    def do_POST(self) -> None:  # noqa: N802
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        self._respond(*self.app.handle("POST", self.path, body))
+
+
+def make_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for ``app`` (``port=0`` = ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` to block,
+    ``shutdown()`` + ``server_close()`` to stop. The engine's batching
+    dispatcher is started here so concurrent handler threads fuse.
+    """
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    app.engine.start()
+    return server
+
+
+def run_server(
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_event: threading.Event | None = None,
+) -> None:
+    """Blocking entry point used by ``repro serve``.
+
+    Prints the bound address (machine-parseable first line) before
+    serving; ``ready_event`` is set once the socket is listening.
+    """
+    server = make_server(app, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    if ready_event is not None:
+        ready_event.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.engine.stop()

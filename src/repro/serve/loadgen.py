@@ -1,0 +1,173 @@
+"""Closed-loop load generation against a :class:`ForecastEngine`.
+
+Each simulated client alternates *observe one sensor → request one
+forecast*, so consecutive requests see fresh state versions (forecasts
+cannot all collapse into the LRU cache) and concurrent clients give the
+dispatcher real fusion opportunities. The generator drives the engine
+directly — no HTTP in the measured path — so the numbers isolate the
+serving core: batching, no-grad forwards, cache, locks.
+
+:func:`compare_batched_sequential` runs the same workload twice, against
+a micro-batching engine and a ``max_batch_size=1`` baseline, which is
+the committed ``BENCH_serve_latency`` comparison.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..telemetry import MetricRegistry
+from .artifact import ModelBundle
+from .engine import ForecastEngine
+
+__all__ = ["LoadReport", "run_load", "compare_batched_sequential"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one closed-loop run."""
+
+    mode: str  # "batched" | "sequential"
+    num_clients: int
+    requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    forwards: int
+    batches: int
+    mean_batch_size: float
+    cache_hits: int
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_load(
+    engine: ForecastEngine,
+    mode: str,
+    num_clients: int = 8,
+    requests_per_client: int = 40,
+    horizon: int | None = None,
+    seed: int = 0,
+    value_scale: float = 60.0,
+) -> LoadReport:
+    """Drive ``engine`` with ``num_clients`` closed-loop client threads.
+
+    Each client owns a disjoint set of sensors it feeds round-robin with
+    synthetic readings at advancing steps, requesting a forecast after
+    every observation. Latencies are wall-clock per forecast call.
+    """
+    store = engine.store
+    latencies: list[list[float]] = [[] for _ in range(num_clients)]
+    errors = [0] * num_clients
+    next_step = [store.newest_step + 1]
+    step_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(seed + idx)
+        start_barrier.wait()
+        for _ in range(requests_per_client):
+            with step_lock:
+                step = next_step[0]
+                next_step[0] += 1
+            node = int(rng.integers(store.num_nodes))
+            features = rng.normal(value_scale, 5.0, size=store.num_features)
+            store.observe_sensor(step, node, features)
+            begin = time.perf_counter()
+            try:
+                engine.forecast(horizon=horizon)
+            except Exception:
+                errors[idx] += 1
+                continue
+            latencies[idx].append((time.perf_counter() - begin) * 1e3)
+
+    threads = [
+        threading.Thread(target=client, args=(idx,), daemon=True)
+        for idx in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - begin
+
+    flat = np.array([ms for per_client in latencies for ms in per_client])
+    total = int(flat.size)
+    registry = engine.registry
+    batches = int(registry.counter("serve/batches").value)
+    batch_hist = registry.histogram("serve/batch_size")
+    return LoadReport(
+        mode=mode,
+        num_clients=num_clients,
+        requests=total,
+        errors=int(sum(errors)),
+        duration_s=float(duration),
+        throughput_rps=float(total / duration) if duration > 0 else 0.0,
+        latency_ms_mean=float(flat.mean()) if total else 0.0,
+        latency_ms_p50=float(np.percentile(flat, 50)) if total else 0.0,
+        latency_ms_p95=float(np.percentile(flat, 95)) if total else 0.0,
+        latency_ms_p99=float(np.percentile(flat, 99)) if total else 0.0,
+        forwards=int(registry.counter("serve/forwards").value),
+        batches=batches,
+        mean_batch_size=float(batch_hist.mean),
+        cache_hits=int(registry.counter("serve/cache_hits").value),
+    )
+
+
+def compare_batched_sequential(
+    bundle: ModelBundle,
+    num_clients: int = 8,
+    requests_per_client: int = 40,
+    max_batch_size: int = 8,
+    max_wait_s: float = 0.005,
+    seed: int = 0,
+) -> dict:
+    """The headline serving benchmark: micro-batched vs sequential.
+
+    Both runs use identical fresh stores and workloads; the sequential
+    baseline is the same engine restricted to ``max_batch_size=1`` (one
+    forward per request, same threading and cache). Returns a dict of two
+    :class:`LoadReport` payloads plus the throughput ratio.
+    """
+    reports = {}
+    for mode, batch_size, wait in (
+        ("sequential", 1, 0.0),
+        ("batched", max_batch_size, max_wait_s),
+    ):
+        engine = ForecastEngine(
+            model=bundle.model,
+            scaler=bundle.scaler,
+            store=bundle.make_store(),
+            max_batch_size=batch_size,
+            max_wait_s=wait,
+            registry=MetricRegistry(),  # isolate counters per run
+        )
+        with engine:
+            reports[mode] = run_load(
+                engine,
+                mode=mode,
+                num_clients=num_clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+    ratio = (
+        reports["batched"].throughput_rps / reports["sequential"].throughput_rps
+        if reports["sequential"].throughput_rps > 0
+        else 0.0
+    )
+    return {
+        "sequential": reports["sequential"].to_json_dict(),
+        "batched": reports["batched"].to_json_dict(),
+        "batched_over_sequential_throughput": float(ratio),
+    }

@@ -1,0 +1,256 @@
+"""Per-sensor streaming state for online forecasting.
+
+Offline experiments slice complete arrays into windows; a live deployment
+instead receives sensor readings one at a time, *with gaps*. The
+:class:`StateStore` is the bridge: a ring buffer over the last
+``input_length`` time slots of the whole network that
+
+* accepts full-network or per-sensor observations keyed by an absolute
+  integer time step (e.g. the 5-minute slot index since the feed epoch);
+* tolerates out-of-order arrivals within the retained window and rejects
+  (and counts) anything older;
+* marks never-observed entries missing exactly like the offline pipeline
+  (:mod:`repro.datasets.missing` semantics: value 0, mask 0), so a model
+  trained on corrupted windows sees the same input distribution online;
+* derives the time-since-last-observation deltas that GRU-D-style decay
+  models consume, matching :func:`repro.models.grud.compute_deltas`
+  step-for-step.
+
+Values are stored in **original units**; scaling is the engine's job
+(the fitted scaler travels with the model bundle).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.grud import compute_deltas
+
+__all__ = ["StateStore", "StateWindow"]
+
+
+@dataclass(frozen=True)
+class StateWindow:
+    """An immutable snapshot of the store, model-ready.
+
+    ``x`` is zero-filled at missing entries, ``m`` is the observation
+    mask, ``steps_of_day`` the time-of-day index per slot and ``delta``
+    the per-entry steps-since-last-observation (GRU-D convention: the
+    oldest slot has delta 0). ``version`` identifies the store state the
+    snapshot was taken at — it keys the engine's forecast cache.
+    """
+
+    x: np.ndarray  # (L, N, D) observed history, zeros where missing
+    m: np.ndarray  # (L, N, D) observation mask
+    steps_of_day: np.ndarray  # (L,)
+    delta: np.ndarray  # (L, N, D)
+    newest_step: int  # absolute step of the last (most recent) slot
+    version: int
+
+    @property
+    def input_length(self) -> int:
+        return self.x.shape[0]
+
+
+class StateStore:
+    """Ring buffer of the last ``input_length`` network observations.
+
+    Parameters
+    ----------
+    num_nodes, num_features:
+        Network dimensions, matching the trained model.
+    input_length:
+        Window length ``L`` the model consumes (the paper's 12 steps).
+    steps_per_day:
+        Calendar resolution (drives the temporal-graph interval weights).
+    start_step:
+        Absolute step the feed starts at; slots before the first
+        observation are missing (cold start).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_features: int,
+        input_length: int,
+        steps_per_day: int = 288,
+        start_step: int = 0,
+    ):
+        if input_length < 1:
+            raise ValueError(f"input_length must be >= 1, got {input_length}")
+        if steps_per_day < 1:
+            raise ValueError(f"steps_per_day must be >= 1, got {steps_per_day}")
+        self.num_nodes = num_nodes
+        self.num_features = num_features
+        self.input_length = input_length
+        self.steps_per_day = steps_per_day
+        # Ring storage: slot for absolute step t lives at row t % L.
+        self._values = np.zeros((input_length, num_nodes, num_features))
+        self._mask = np.zeros((input_length, num_nodes, num_features))
+        # Newest absolute step currently represented in the ring. Slots
+        # (newest-L, newest] are live; anything older has been evicted.
+        self._newest = start_step - 1
+        self._start_step = start_step
+        self._version = 0
+        self._observations = 0
+        self._stale_dropped = 0
+        # Observation feed and forecast dispatcher run on different
+        # threads; the lock keeps snapshots consistent with updates.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped once per accepted observation."""
+        return self._version
+
+    @property
+    def newest_step(self) -> int:
+        """Absolute step of the most recent ring slot (-1 offset start)."""
+        return self._newest
+
+    @property
+    def observations(self) -> int:
+        """Accepted observation count (full-network and per-sensor alike)."""
+        return self._observations
+
+    @property
+    def stale_dropped(self) -> int:
+        """Observations rejected for falling behind the retained window."""
+        return self._stale_dropped
+
+    @property
+    def warm(self) -> bool:
+        """True once every slot of the window has been advanced past.
+
+        A cold store still serves forecasts — the leading slots are
+        simply masked missing, which the missing-value models handle by
+        design — but callers may prefer to gate traffic on warm-up.
+        """
+        return self._newest - self._start_step + 1 >= self.input_length
+
+    # ------------------------------------------------------------------
+    def _advance_to(self, step: int) -> None:
+        """Roll the ring forward so ``step`` is the newest slot.
+
+        Every slot entering the window starts fully missing — a silent
+        sensor is a gap, exactly like the offline corruption masks.
+        """
+        gap = step - self._newest
+        if gap >= self.input_length:
+            self._values[:] = 0.0
+            self._mask[:] = 0.0
+        else:
+            for s in range(self._newest + 1, step + 1):
+                row = s % self.input_length
+                self._values[row] = 0.0
+                self._mask[row] = 0.0
+        self._newest = step
+
+    def observe(
+        self,
+        step: int,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> bool:
+        """Ingest a full-network reading for absolute ``step``.
+
+        ``values`` is ``(N, D)``; ``mask`` (same shape, default all-ones)
+        marks which entries are real observations — unmasked entries are
+        left untouched, so partial readings merge with earlier arrivals
+        for the same step. Returns ``False`` (and counts the drop) when
+        ``step`` has already left the retained window.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_nodes, self.num_features):
+            raise ValueError(
+                f"values must be {(self.num_nodes, self.num_features)}, "
+                f"got {values.shape}"
+            )
+        if mask is None:
+            mask = np.ones_like(values)
+        else:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.shape != values.shape:
+                raise ValueError(
+                    f"mask shape {mask.shape} != values shape {values.shape}"
+                )
+        with self._lock:
+            if step <= self._newest - self.input_length:
+                self._stale_dropped += 1
+                return False
+            if step > self._newest:
+                self._advance_to(step)
+            row = step % self.input_length
+            observed = mask > 0
+            self._values[row][observed] = values[observed]
+            self._mask[row][observed] = 1.0
+            self._version += 1
+            self._observations += 1
+            return True
+
+    def observe_sensor(
+        self, step: int, node: int, features: np.ndarray | float
+    ) -> bool:
+        """Ingest one sensor's reading (the streaming per-sensor path)."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
+        values = np.zeros((self.num_nodes, self.num_features))
+        mask = np.zeros_like(values)
+        features = np.asarray(features, dtype=np.float64).reshape(-1)
+        if features.shape != (self.num_features,):
+            raise ValueError(
+                f"expected {self.num_features} features, got {features.shape[0]}"
+            )
+        values[node] = features
+        mask[node] = 1.0
+        return self.observe(step, values, mask)
+
+    # ------------------------------------------------------------------
+    def window(self) -> StateWindow:
+        """Snapshot the ring as a chronologically ordered model window."""
+        with self._lock:
+            newest = self._newest
+            steps = np.arange(newest - self.input_length + 1, newest + 1)
+            rows = steps % self.input_length
+            x = self._values[rows].copy()
+            m = self._mask[rows].copy()
+            version = self._version
+        # Entries from before the feed started are plain cold-start gaps.
+        delta = compute_deltas(m[None])[0]
+        return StateWindow(
+            x=x,
+            m=m,
+            steps_of_day=steps % self.steps_per_day,
+            delta=delta,
+            newest_step=int(newest),
+            version=version,
+        )
+
+    def load_history(
+        self, data: np.ndarray, mask: np.ndarray | None = None,
+        end_step: int | None = None,
+    ) -> None:
+        """Bulk-prime the store from offline arrays ``(T, N, D)``.
+
+        The last ``input_length`` rows land in the ring with the final
+        row at ``end_step`` (default: ``start + T - 1``). Used to warm a
+        server from the tail of a recorded feed before going live.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 3 or data.shape[1:] != (self.num_nodes, self.num_features):
+            raise ValueError(
+                f"history must be (T, {self.num_nodes}, {self.num_features}), "
+                f"got {data.shape}"
+            )
+        if mask is None:
+            mask = np.ones_like(data)
+        total = data.shape[0]
+        if end_step is None:
+            end_step = self._start_step + total - 1
+        first = max(0, total - self.input_length)
+        for offset in range(first, total):
+            self.observe(end_step - (total - 1 - offset), data[offset], mask[offset])

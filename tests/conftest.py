@@ -1,0 +1,27 @@
+"""Shared fixtures: a tiny experiment context for the serving tests.
+
+Session-scoped because context construction (dataset synthesis, scaling,
+windowing) is identical across the serve test modules and read-only for
+all of them.
+"""
+
+import pytest
+
+from repro.experiments import DataConfig, ModelConfig, prepare_context
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx():
+    data_cfg = DataConfig(
+        num_nodes=4,
+        num_days=2,
+        steps_per_day=48,
+        input_length=6,
+        output_length=3,
+        stride=4,
+        missing_rate=0.2,
+    )
+    model_cfg = ModelConfig(
+        embed_dim=4, hidden_dim=8, num_graphs=2, partition_downsample=4
+    )
+    return prepare_context(data_cfg, model_cfg)

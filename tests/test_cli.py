@@ -44,6 +44,37 @@ class TestCli:
             main([])
 
 
+class TestExport:
+    def test_export_writes_bundle(self, capsys, tmp_path):
+        base = tmp_path / "bundle" / "fc-lstm"
+        out = run_cli(
+            capsys, *COMMON,
+            "export", "--model", "FC-LSTM", "--skip-training",
+            "--output", str(base),
+        )
+        assert "bundle written" in out
+        assert (tmp_path / "bundle" / "fc-lstm.json").exists()
+        assert (tmp_path / "bundle" / "fc-lstm.npz").exists()
+
+        from repro.serve import load_bundle
+
+        bundle = load_bundle(str(base))
+        assert bundle.model_name == "FC-LSTM"
+        assert bundle.num_nodes == 5
+
+    def test_export_trains_when_asked(self, capsys, tmp_path):
+        base = tmp_path / "trained"
+        out = run_cli(
+            capsys, *COMMON,
+            "export", "--model", "FC-LSTM", "--output", str(base),
+        )
+        assert "training FC-LSTM" in out
+        assert "bundle written" in out
+
+    def test_export_rejects_statistical_models(self, capsys):
+        assert main([*COMMON, "export", "--model", "HA"]) == 2
+
+
 class TestReport:
     def test_report_to_stdout(self, capsys):
         out = run_cli(

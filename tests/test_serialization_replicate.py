@@ -11,7 +11,7 @@ from repro.experiments import (
     replicate_metric,
     replicate_model,
 )
-from repro.nn import Linear, Module, load_checkpoint, save_checkpoint
+from repro.nn import Linear, Module, checkpoint_path, load_checkpoint, save_checkpoint
 from repro.models import fc_lstm_i
 
 
@@ -64,6 +64,58 @@ class TestCheckpointing:
     def test_empty_model_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_checkpoint(Module(), tmp_path / "empty.npz")
+
+    def test_suffixless_path_round_trips(self, tmp_path):
+        """Regression: numpy.savez silently appends '.npz', so saving and
+        loading the same suffix-less path used to FileNotFoundError."""
+        model = fc_lstm_i(input_length=4, output_length=2, num_nodes=2,
+                          num_features=1, embed_dim=3, hidden_dim=4, seed=0)
+        path = tmp_path / "ckpt"  # no .npz on purpose
+        written = save_checkpoint(model, path)
+        assert written.endswith(".npz")
+        clone = fc_lstm_i(input_length=4, output_length=2, num_nodes=2,
+                          num_features=1, embed_dim=3, hidden_dim=4, seed=7)
+        load_checkpoint(clone, path)  # same suffix-less path must resolve
+        for (_n1, p1), (_n2, p2) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_checkpoint_path_normalisation(self):
+        assert checkpoint_path("a/b") == "a/b.npz"
+        assert checkpoint_path("a/b.npz") == "a/b.npz"
+
+    def test_missing_parameter_error_names_it(self, tmp_path):
+        class Small(Module):
+            def __init__(self):
+                super().__init__()
+                self.first = Linear(2, 2, rng=np.random.default_rng(0))
+
+        class Big(Module):
+            def __init__(self):
+                super().__init__()
+                self.first = Linear(2, 2, rng=np.random.default_rng(0))
+                self.second = Linear(2, 2, rng=np.random.default_rng(1))
+
+        path = save_checkpoint(Small(), tmp_path / "small")
+        with pytest.raises(KeyError) as excinfo:
+            load_checkpoint(Big(), path)
+        message = str(excinfo.value)
+        assert "second" in message  # the offending parameter, by name
+        assert path in message
+
+    def test_shape_mismatch_error_names_parameter_and_shapes(self, tmp_path):
+        class Wrap(Module):
+            def __init__(self, size):
+                super().__init__()
+                self.layer = Linear(size, size, rng=np.random.default_rng(0))
+
+        path = save_checkpoint(Wrap(2), tmp_path / "w")
+        with pytest.raises(ValueError) as excinfo:
+            load_checkpoint(Wrap(3), path)
+        message = str(excinfo.value)
+        assert "layer." in message
+        assert "(2, 2)" in message and "(3, 3)" in message
 
 
 class TestReplicate:
