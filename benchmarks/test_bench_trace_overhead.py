@@ -1,0 +1,102 @@
+"""Tracing-overhead benchmark: sampled tracing must stay near-free.
+
+The serve path records spans on every request; at the deployment
+default of 1% sampling, 99% of requests pay only ID allocation and two
+clock reads. This bench drives the same closed-loop workload with
+tracing disabled and with 1% sampling and asserts the forecast-latency
+overhead stays under 5%, emitted as ``BENCH_trace_overhead.json``.
+
+Repeats are interleaved and each mode is scored by its *best* run, so a
+background scheduling hiccup in one repeat cannot fake an overhead (or
+hide one) — the minima compare like-for-like steady states.
+"""
+
+import pytest
+
+from bench_config import SCALE, emit_bench_record, model_config, pems_data_config
+
+from repro.experiments import build_model, prepare_context
+from repro.serve import export_bundle, load_bundle
+from repro.serve.loadgen import run_load
+from repro.telemetry import MetricRegistry, Tracer
+
+pytestmark = pytest.mark.bench
+
+MISSING_RATE = 0.4
+SAMPLE_RATE = 0.01
+MAX_OVERHEAD = 1.05  # < 5% mean-latency overhead at 1% sampling
+CLIENTS = {"fast": 4, "small": 8, "full": 8}[SCALE]
+REQUESTS = {"fast": 10, "small": 25, "full": 60}[SCALE]
+REPEATS = 3
+
+
+def _run(bundle, tracer, seed):
+    engine = bundle.make_engine(
+        store=bundle.make_store(),
+        max_batch_size=8,
+        max_wait_s=0.004,
+        registry=MetricRegistry(),
+        tracer=tracer,
+    )
+    with engine:
+        report = run_load(
+            engine,
+            mode="batched",
+            num_clients=CLIENTS,
+            requests_per_client=REQUESTS,
+            seed=seed,
+        )
+    assert report.errors == 0
+    return report
+
+
+def test_trace_overhead(tmp_path):
+    ctx = prepare_context(pems_data_config(missing_rate=MISSING_RATE), model_config())
+    model = build_model("RIHGCN", ctx)
+    base = str(tmp_path / "rihgcn")
+    export_bundle(model, "RIHGCN", ctx, base)
+    bundle = load_bundle(base)
+
+    _run(bundle, Tracer(sample_rate=0.0), seed=99)  # warm caches/JIT paths
+
+    off_means, sampled_means = [], []
+    for repeat in range(REPEATS):
+        off_means.append(
+            _run(bundle, Tracer(sample_rate=0.0), seed=repeat).latency_ms_mean
+        )
+        sampled_means.append(
+            _run(
+                bundle, Tracer(sample_rate=SAMPLE_RATE, seed=repeat), seed=repeat
+            ).latency_ms_mean
+        )
+
+    off_ms = min(off_means)
+    sampled_ms = min(sampled_means)
+    ratio = sampled_ms / off_ms
+
+    print()
+    print(f"tracing off:          {off_ms:.2f}ms mean (best of {REPEATS})")
+    print(f"tracing @ {SAMPLE_RATE:.0%} sample: {sampled_ms:.2f}ms mean "
+          f"(best of {REPEATS})")
+    print(f"overhead: {ratio - 1.0:+.1%}")
+
+    assert ratio < MAX_OVERHEAD, (
+        f"1% sampling costs {ratio - 1.0:+.1%} forecast latency "
+        f"(budget {MAX_OVERHEAD - 1.0:.0%}): {sampled_ms:.2f}ms vs {off_ms:.2f}ms"
+    )
+
+    emit_bench_record("trace_overhead", {
+        "model": "RIHGCN",
+        "dataset": "pems",
+        "missing_rate": MISSING_RATE,
+        "num_clients": CLIENTS,
+        "requests_per_client": REQUESTS,
+        "repeats": REPEATS,
+        "sample_rate": SAMPLE_RATE,
+        "latency_ms_mean_traced_off": off_ms,
+        "latency_ms_mean_sampled": sampled_ms,
+        "latency_ms_mean_traced_off_runs": off_means,
+        "latency_ms_mean_sampled_runs": sampled_means,
+        "overhead_ratio": ratio,
+        "max_overhead_ratio": MAX_OVERHEAD,
+    })

@@ -87,7 +87,9 @@ def main() -> None:
     print(f"max |online - offline| = {gap:.2e}  (serving path == offline path)")
     assert gap < 1e-6
 
-    print("metrics:", json.dumps(http(base + "/metrics")["counters"], indent=2))
+    # /metrics speaks Prometheus text by default; ask for the JSON snapshot
+    print("metrics:", json.dumps(http(base + "/metrics?format=json")["counters"],
+                                 indent=2))
     server.shutdown()
     server.server_close()
     app.engine.stop()

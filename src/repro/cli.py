@@ -10,7 +10,8 @@ Usage::
     python -m repro.cli fig5 --lambdas 0.001 1 20
     python -m repro.cli --scale full table1-missing   # paper-closer scale
     python -m repro.cli export --model RIHGCN --output artifacts/rihgcn
-    python -m repro.cli serve --bundle artifacts/rihgcn --port 8787
+    python -m repro.cli serve --bundle artifacts/rihgcn --port 8787 --trace-sample 0.1
+    python -m repro.cli traces http://127.0.0.1:8787 --limit 5
 
 Every subcommand prints the corresponding paper table/figure rows. The
 ``--scale`` flag trades fidelity for speed (fast/small/full); individual
@@ -120,6 +121,19 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="requests fused per forward pass (1 = sequential)")
     p.add_argument("--max-wait-ms", type=float, default=2.0,
                    help="how long a forming batch waits for followers")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="request-trace sampling rate in [0, 1] (0 = off)")
+    p.add_argument("--trace-export", type=str, default=None,
+                   help="append finished spans to this JSONL file")
+
+    p = sub.add_parser(
+        "traces",
+        help="pretty-print traces from a running server or a JSONL export",
+    )
+    p.add_argument("source",
+                   help="http(s)://host:port of a server, or a JSONL span file")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only the most recent N traces")
 
     p = sub.add_parser("report", help="run everything, emit a Markdown report")
     p.add_argument("--output", type=str, default="-",
@@ -149,6 +163,42 @@ def _configs(args) -> tuple[DataConfig, ModelConfig, object]:
     )
     trainer = default_trainer_config(max_epochs=args.epochs or preset["epochs"])
     return data, model, trainer
+
+
+def _load_traces(source: str, limit: int | None) -> list[dict]:
+    """Fetch traces from ``/traces`` or regroup a JSONL span export."""
+    import json
+
+    if source.startswith("http://") or source.startswith("https://"):
+        from urllib.request import urlopen
+
+        url = source.rstrip("/") + "/traces"
+        if limit is not None:
+            url += f"?limit={limit}"
+        with urlopen(url) as response:
+            return json.load(response)["traces"]
+
+    grouped: dict[str, list[dict]] = {}
+    order: list[str] = []
+    with open(source, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            span = json.loads(line)
+            trace_id = span["trace_id"]
+            if trace_id not in grouped:
+                grouped[trace_id] = []
+                order.append(trace_id)
+            grouped[trace_id].append(span)
+    traces = [
+        {"trace_id": trace_id,
+         "spans": sorted(grouped[trace_id], key=lambda s: s["start"])}
+        for trace_id in reversed(order)  # most recently started trace first
+    ]
+    if limit is not None:
+        traces = traces[: max(limit, 0)]
+    return traces
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -275,19 +325,35 @@ def main(argv: list[str] | None = None) -> int:
               f"(+ {os.path.basename(output)}.npz)")
     elif args.command == "serve":
         from .serve import ServeApp, load_bundle, run_server
+        from .telemetry import Tracer, set_tracer
 
         bundle = load_bundle(args.bundle)
         print(f"loaded {bundle.model_name} bundle: {bundle.num_nodes} nodes, "
               f"{bundle.num_features} features, window {bundle.input_length} "
               f"-> horizon {bundle.output_length}")
+        tracer = Tracer(
+            sample_rate=args.trace_sample, export_path=args.trace_export
+        )
+        set_tracer(tracer)  # callbacks and helpers share the server's tracer
+        if args.trace_sample > 0:
+            print(f"tracing {args.trace_sample:.0%} of requests"
+                  + (f", exporting to {args.trace_export}"
+                     if args.trace_export else ""))
         store = bundle.make_store()
         engine = bundle.make_engine(
             store=store,
             max_batch_size=args.max_batch_size,
             max_wait_s=args.max_wait_ms / 1e3,
+            tracer=tracer,
         )
-        app = ServeApp(bundle, store=store, engine=engine)
+        app = ServeApp(bundle, store=store, engine=engine, tracer=tracer)
         run_server(app, host=args.host, port=args.port)
+    elif args.command == "traces":
+        from .telemetry import format_trace
+
+        for trace in _load_traces(args.source, args.limit):
+            print(format_trace(trace))
+            print()
     elif args.command == "report":
         from .experiments import ReportConfig, generate_report
 

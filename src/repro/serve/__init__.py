@@ -17,7 +17,7 @@ See ``docs/SERVING.md`` for the full walk-through and
 from .artifact import FORMAT_VERSION, ModelBundle, export_bundle, load_bundle
 from .cache import LRUCache
 from .engine import Forecast, ForecastEngine
-from .http import ServeApp, make_server, run_server
+from .http import PlainText, ServeApp, make_server, run_server
 from .loadgen import LoadReport, compare_batched_sequential, run_load
 from .state import StateStore, StateWindow
 
@@ -29,6 +29,7 @@ __all__ = [
     "LRUCache",
     "Forecast",
     "ForecastEngine",
+    "PlainText",
     "ServeApp",
     "make_server",
     "run_server",

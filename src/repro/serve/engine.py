@@ -18,6 +18,14 @@ Telemetry lands in a :class:`repro.telemetry.MetricRegistry`
 (``serve/requests``, ``serve/cache_hits``, ``serve/forwards``,
 ``serve/batch_size``, ``serve/latency_ms``), which the HTTP
 ``/metrics`` endpoint snapshots.
+
+Tracing follows each request across the micro-batcher's thread
+boundary: the request's span context is captured at enqueue time, a
+``queue`` span measures the wait, and the dispatcher opens one
+``batch_forward`` span *parented to the head request's trace* with
+links to every request trace it serves — so a single trace tree shows
+HTTP → engine → queue → batch_forward → model_forward, and the batch
+span names its co-riders.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ import numpy as np
 from ..autodiff import inference_mode
 from ..datasets import ZScoreScaler
 from ..models.base import NeuralForecaster
-from ..telemetry import MetricRegistry, get_registry
+from ..telemetry import MetricRegistry, Tracer, get_registry, get_tracer
 from .cache import LRUCache
 from .state import StateStore, StateWindow
 
@@ -61,13 +69,16 @@ class Forecast:
 
 
 class _Request:
-    __slots__ = ("window", "horizon", "future", "submitted")
+    __slots__ = ("window", "horizon", "future", "submitted", "ctx", "queue_span")
 
-    def __init__(self, window: StateWindow, horizon: int, submitted: float):
+    def __init__(self, window: StateWindow, horizon: int, submitted: float,
+                 ctx=None, queue_span=None):
         self.window = window
         self.horizon = horizon
         self.future: "Future[Forecast]" = Future()
         self.submitted = submitted
+        self.ctx = ctx  # SpanContext of the requesting trace (or None)
+        self.queue_span = queue_span  # open "queue" span, ended by the dispatcher
 
 
 class ForecastEngine:
@@ -102,6 +113,7 @@ class ForecastEngine:
         max_wait_s: float = 0.002,
         cache_size: int = 256,
         registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -117,6 +129,7 @@ class ForecastEngine:
         self.max_wait_s = max_wait_s
         self.cache = LRUCache(cache_size) if cache_size > 0 else None
         self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._queue: "queue.Queue[_Request | None]" = queue.Queue()
         self._worker: threading.Thread | None = None
         self._forward_lock = threading.Lock()
@@ -167,18 +180,30 @@ class ForecastEngine:
             )
         start = time.perf_counter()
         self.registry.counter("serve/requests").inc()
-        window = self.store.window()
-        cached = self._cache_lookup(window.version, horizon)
-        if cached is not None:
-            self.registry.counter("serve/cache_hits").inc()
-            self._observe_latency(start)
-            return cached
-        if self.running:
-            request = _Request(window, horizon, start)
-            self._queue.put(request)
-            result = request.future.result(timeout=timeout)
-        else:
-            result = self._answer([_Request(window, horizon, start)])[0]
+        with self.tracer.span(
+            "engine.forecast", attributes={"horizon": horizon}
+        ) as span:
+            window = self.store.window()
+            span.set_attribute("version", window.version)
+            cached = self._cache_lookup(window.version, horizon)
+            if cached is not None:
+                span.set_attribute("cache_hit", True)
+                self.registry.counter("serve/cache_hits").inc()
+                self._observe_latency(start)
+                return cached
+            span.set_attribute("cache_hit", False)
+            if self.running:
+                # The dispatcher thread closes the queue span when it
+                # picks the request up, measuring time spent waiting for
+                # batch formation.
+                queue_span = self.tracer.start_span("queue", parent=span.context)
+                request = _Request(window, horizon, start,
+                                   ctx=span.context, queue_span=queue_span)
+                self._queue.put(request)
+                result = request.future.result(timeout=timeout)
+            else:
+                request = _Request(window, horizon, start, ctx=span.context)
+                result = self._answer([request])[0]
         self._observe_latency(start)
         return result
 
@@ -239,34 +264,50 @@ class ForecastEngine:
 
     def _answer(self, batch: list[_Request]) -> list[Forecast]:
         """Run one fused forward for the batch and fan results out."""
-        # Deduplicate identical state versions: concurrent requests
-        # between two observations share one forward row.
-        unique: dict[int, int] = {}
-        windows: list[StateWindow] = []
+        # Queue time ends the moment the batch starts processing.
         for request in batch:
-            if request.window.version not in unique:
-                unique[request.window.version] = len(windows)
-                windows.append(request.window)
-        predictions = self._predict(windows)  # (U, T_out, N, D_out)
+            if request.queue_span is not None:
+                self.tracer.end_span(request.queue_span)
+        # The batch span adopts the head request's trace (so that trace
+        # shows the full HTTP → queue → batch_forward → model path) and
+        # links every request trace it serves, co-riders included.
+        head_ctx = next((r.ctx for r in batch if r.ctx is not None), None)
+        links = [r.ctx for r in batch if r.ctx is not None]
+        with self.tracer.span(
+            "batch_forward",
+            parent=head_ctx,
+            links=links,
+            attributes={"batch_size": len(batch)},
+        ) as bspan:
+            # Deduplicate identical state versions: concurrent requests
+            # between two observations share one forward row.
+            unique: dict[int, int] = {}
+            windows: list[StateWindow] = []
+            for request in batch:
+                if request.window.version not in unique:
+                    unique[request.window.version] = len(windows)
+                    windows.append(request.window)
+            bspan.set_attribute("unique_versions", len(windows))
+            predictions = self._predict(windows)  # (U, T_out, N, D_out)
 
-        self.registry.counter("serve/batches").inc()
-        self.registry.histogram("serve/batch_size").observe(len(batch))
+            self.registry.counter("serve/batches").inc()
+            self.registry.histogram("serve/batch_size").observe(len(batch))
 
-        results = []
-        for request in batch:
-            full = predictions[unique[request.window.version]]
-            forecast = Forecast(
-                prediction=full[: request.horizon].copy(),
-                horizon=request.horizon,
-                version=request.window.version,
-                newest_step=request.window.newest_step,
-                cached=False,
-            )
-            if self.cache is not None:
-                self.cache.put(
-                    (request.window.version, request.horizon), forecast
+            results = []
+            for request in batch:
+                full = predictions[unique[request.window.version]]
+                forecast = Forecast(
+                    prediction=full[: request.horizon].copy(),
+                    horizon=request.horizon,
+                    version=request.window.version,
+                    newest_step=request.window.newest_step,
+                    cached=False,
                 )
-            results.append(forecast)
+                if self.cache is not None:
+                    self.cache.put(
+                        (request.window.version, request.horizon), forecast
+                    )
+                results.append(forecast)
         return results
 
     def _predict(self, windows: list[StateWindow]) -> np.ndarray:
@@ -276,6 +317,10 @@ class ForecastEngine:
         steps = np.stack([w.steps_of_day for w in windows])
         x_scaled = self.scaler.transform(x, m)
         self.registry.counter("serve/forwards").inc()
-        with self._forward_lock, inference_mode():
-            out = self.model(x_scaled, m, steps)
+        with self.tracer.span(
+            "model_forward",
+            attributes={"rows": len(windows), "model": type(self.model).__name__},
+        ):
+            with self._forward_lock, inference_mode():
+                out = self.model(x_scaled, m, steps)
         return self.scaler.inverse_transform(out.prediction.data)

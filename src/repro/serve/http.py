@@ -9,9 +9,19 @@ A deliberately small JSON API on :class:`http.server.ThreadingHTTPServer`
   "features": [61.2]}``.
 * ``GET /forecast?horizon=12`` — forecast from the current state, in
   original units; micro-batched with concurrent requests.
-* ``GET /healthz`` — liveness plus state summary (warm-up, version).
-* ``GET /metrics`` — the telemetry registry snapshot (PR-1 counters and
-  histograms, including the ``serve/*`` series).
+* ``GET /healthz`` — liveness plus state summary (warm-up, version) and
+  the data-quality verdict; ``status`` flips to ``"degraded"`` when any
+  sensor trips a :class:`~repro.telemetry.QualityThresholds` limit.
+* ``GET /metrics`` — Prometheus text exposition of the telemetry
+  registry (content-type ``text/plain; version=0.0.4``); append
+  ``?format=json`` (or send ``Accept: application/json``) for the
+  legacy JSON snapshot.
+* ``GET /traces?limit=10`` — recent finished traces from the tracer
+  buffer, grouped per trace (pretty-print them with ``repro traces``).
+
+Every request runs under an ``http <METHOD> <route>`` root span, so the
+trace tree of a forecast shows HTTP → engine.forecast → queue →
+batch_forward → model_forward in one place.
 
 Threading model: each connection gets a handler thread (the stdlib
 mixin); handlers funnel forecasts through the engine's batching queue
@@ -22,17 +32,34 @@ from __future__ import annotations
 
 import json
 import threading
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from ..telemetry import MetricRegistry, get_registry
+from ..telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricRegistry,
+    QualityMonitor,
+    Tracer,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+)
 from .artifact import ModelBundle
 from .engine import ForecastEngine
 from .state import StateStore
 
-__all__ = ["ServeApp", "make_server", "run_server"]
+__all__ = ["PlainText", "ServeApp", "make_server", "run_server"]
+
+
+@dataclass(frozen=True)
+class PlainText:
+    """A non-JSON response body; ``handle`` returns it where it would a dict."""
+
+    body: str
+    content_type: str = "text/plain; charset=utf-8"
 
 
 class ServeApp:
@@ -44,24 +71,46 @@ class ServeApp:
         store: StateStore | None = None,
         engine: ForecastEngine | None = None,
         registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
+        quality: QualityMonitor | None = None,
     ):
         self.bundle = bundle
         self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.store = store if store is not None else bundle.make_store()
         self.engine = (
             engine
             if engine is not None
-            else bundle.make_engine(store=self.store, registry=self.registry)
+            else bundle.make_engine(
+                store=self.store, registry=self.registry, tracer=self.tracer
+            )
         )
         if self.engine.store is not self.store:
             raise ValueError("engine and app must share one state store")
+        # Drift is judged against the *training* scaler statistics that
+        # travel with the bundle — the distribution the model was fit on.
+        self.quality = (
+            quality
+            if quality is not None
+            else QualityMonitor(
+                num_nodes=self.store.num_nodes,
+                train_mean=bundle.scaler.mean_,
+                train_std=bundle.scaler.std_,
+                registry=self.registry,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Endpoint bodies: return (status, payload) pairs.
     # ------------------------------------------------------------------
+    def _inspect_quality(self):
+        """Refresh the quality monitor from the live window (pull-based)."""
+        return self.quality.update(self.store.window(), store=self.store)
+
     def healthz(self) -> tuple[int, dict]:
+        report = self._inspect_quality()
         return 200, {
-            "status": "ok",
+            "status": "degraded" if report.degraded else "ok",
             "model": self.bundle.model_name,
             "num_nodes": self.bundle.num_nodes,
             "num_features": self.bundle.num_features,
@@ -71,10 +120,21 @@ class ServeApp:
             "version": self.store.version,
             "newest_step": self.store.newest_step,
             "observations": self.store.observations,
+            "quality": report.to_json_dict(),
+            "sensors": self.store.sensor_summary(),
         }
 
-    def metrics(self) -> tuple[int, dict]:
-        return 200, self.registry.snapshot()
+    def metrics(self, as_json: bool = False) -> tuple[int, dict | PlainText]:
+        self._inspect_quality()
+        if as_json:
+            return 200, self.registry.snapshot()
+        return 200, PlainText(
+            body=render_prometheus(self.registry),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def traces(self, limit: int | None = None) -> tuple[int, dict]:
+        return 200, {"traces": self.tracer.traces(limit=limit)}
 
     def observe(self, payload: dict) -> tuple[int, dict]:
         if "step" not in payload:
@@ -110,17 +170,51 @@ class ServeApp:
         return 200, result.to_json_dict()
 
     # ------------------------------------------------------------------
-    def handle(self, method: str, path: str, body: bytes | None) -> tuple[int, dict]:
+    @staticmethod
+    def _wants_json(query: dict, headers: dict | None) -> bool:
+        fmt = query.get("format", [""])[0].lower()
+        if fmt:
+            return fmt == "json"
+        accept = (headers or {}).get("Accept", "")
+        return "application/json" in accept
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict | PlainText]:
         """Dispatch one request; exceptions become JSON error responses."""
         parsed = urlparse(path)
         route = parsed.path.rstrip("/") or "/"
+        with self.tracer.span(
+            "http", attributes={"method": method, "route": route}
+        ) as span:
+            status, payload = self._route(method, route, parsed.query, body, headers)
+            span.set_attribute("status", status)
+            if status >= 400:
+                span.status = "error"
+            return status, payload
+
+    def _route(
+        self,
+        method: str,
+        route: str,
+        query_string: str,
+        body: bytes | None,
+        headers: dict | None,
+    ) -> tuple[int, dict | PlainText]:
+        query = parse_qs(query_string)
         try:
             if method == "GET" and route == "/healthz":
                 return self.healthz()
             if method == "GET" and route == "/metrics":
-                return self.metrics()
+                return self.metrics(as_json=self._wants_json(query, headers))
+            if method == "GET" and route == "/traces":
+                limit = query.get("limit")
+                return self.traces(int(limit[0]) if limit else None)
             if method == "GET" and route == "/forecast":
-                query = parse_qs(parsed.query)
                 horizon = query.get("horizon")
                 return self.forecast(int(horizon[0]) if horizon else None)
             if method == "POST" and route == "/observe":
@@ -143,21 +237,26 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test/CI output clean; telemetry covers observability
 
-    def _respond(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _respond(self, status: int, payload: dict | PlainText) -> None:
+        if isinstance(payload, PlainText):
+            body = payload.body.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802
-        self._respond(*self.app.handle("GET", self.path, None))
+        self._respond(*self.app.handle("GET", self.path, None, dict(self.headers)))
 
     def do_POST(self) -> None:  # noqa: N802
         length = int(self.headers.get("Content-Length", 0))
         body = self.rfile.read(length) if length else b""
-        self._respond(*self.app.handle("POST", self.path, body))
+        self._respond(*self.app.handle("POST", self.path, body, dict(self.headers)))
 
 
 def make_server(

@@ -45,6 +45,7 @@ class LoadReport:
     batches: int
     mean_batch_size: float
     cache_hits: int
+    cache_hit_ratio: float
 
     def to_json_dict(self) -> dict:
         return asdict(self)
@@ -107,6 +108,8 @@ def run_load(
     registry = engine.registry
     batches = int(registry.counter("serve/batches").value)
     batch_hist = registry.histogram("serve/batch_size")
+    cache_hits = int(registry.counter("serve/cache_hits").value)
+    answered = int(registry.counter("serve/requests").value)
     return LoadReport(
         mode=mode,
         num_clients=num_clients,
@@ -121,7 +124,8 @@ def run_load(
         forwards=int(registry.counter("serve/forwards").value),
         batches=batches,
         mean_batch_size=float(batch_hist.mean),
-        cache_hits=int(registry.counter("serve/cache_hits").value),
+        cache_hits=cache_hits,
+        cache_hit_ratio=float(cache_hits / answered) if answered else 0.0,
     )
 
 

@@ -97,6 +97,11 @@ class StateStore:
         self._version = 0
         self._observations = 0
         self._stale_dropped = 0
+        self._cold_resets = 0
+        # Per-sensor recency for the quality monitors: the absolute step
+        # of each sensor's newest accepted reading (None until first).
+        self._last_seen = np.full(num_nodes, start_step - 1, dtype=np.int64)
+        self._seen_ever = np.zeros(num_nodes, dtype=bool)
         # Observation feed and forecast dispatcher run on different
         # threads; the lock keeps snapshots consistent with updates.
         self._lock = threading.Lock()
@@ -123,6 +128,11 @@ class StateStore:
         return self._stale_dropped
 
     @property
+    def cold_resets(self) -> int:
+        """Times a feed gap wiped the whole ring (restart-sized outage)."""
+        return self._cold_resets
+
+    @property
     def warm(self) -> bool:
         """True once every slot of the window has been advanced past.
 
@@ -141,6 +151,8 @@ class StateStore:
         """
         gap = step - self._newest
         if gap >= self.input_length:
+            if self._observations > 0:
+                self._cold_resets += 1
             self._values[:] = 0.0
             self._mask[:] = 0.0
         else:
@@ -188,6 +200,11 @@ class StateStore:
             observed = mask > 0
             self._values[row][observed] = values[observed]
             self._mask[row][observed] = 1.0
+            nodes_observed = observed.any(axis=1)
+            self._last_seen[nodes_observed] = np.maximum(
+                self._last_seen[nodes_observed], step
+            )
+            self._seen_ever |= nodes_observed
             self._version += 1
             self._observations += 1
             return True
@@ -229,6 +246,33 @@ class StateStore:
             newest_step=int(newest),
             version=version,
         )
+
+    def sensor_lag(self) -> np.ndarray:
+        """Steps since each sensor's last accepted reading ``(N,)``.
+
+        Never-observed sensors report the time since the feed started,
+        so a cold sensor and a freshly dead one rank the same way.
+        """
+        with self._lock:
+            lag = self._newest - self._last_seen
+            lag = np.where(self._seen_ever, lag, self._newest - self._start_step + 1)
+        return np.maximum(lag, 0).astype(np.int64)
+
+    def sensor_summary(self) -> dict:
+        """JSON-ready per-sensor recency plus the drop/reset counters."""
+        lag = self.sensor_lag()
+        with self._lock:
+            summary = {
+                "last_seen_step": [
+                    int(s) if ever else None
+                    for s, ever in zip(self._last_seen, self._seen_ever)
+                ],
+                "stale_dropped": self._stale_dropped,
+                "cold_resets": self._cold_resets,
+                "observations": self._observations,
+            }
+        summary["lag_steps"] = [int(v) for v in lag]
+        return summary
 
     def load_history(
         self, data: np.ndarray, mask: np.ndarray | None = None,

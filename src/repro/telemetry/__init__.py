@@ -1,22 +1,43 @@
-"""Telemetry: metrics, autodiff op profiling, and trainer callbacks.
+"""Telemetry: metrics, tracing, data quality, profiling, callbacks.
 
-Three layers, usable independently:
+Five layers, usable independently:
 
 * :mod:`repro.telemetry.registry` — counters/gauges/timers/histograms
   plus nestable ``span`` context managers, aggregated in a
   :class:`MetricRegistry` (a process-wide default backs the module-level
-  helpers);
+  helpers); all primitives are thread-safe;
+* :mod:`repro.telemetry.trace` — request tracing: trace/span IDs with
+  parent links and cross-trace links, contextvar propagation, sampling,
+  a bounded in-memory buffer and a JSONL exporter (:class:`Tracer`);
+* :mod:`repro.telemetry.quality` — per-sensor data-quality monitoring
+  for live feeds: missing-rate EWMA, staleness, feature drift vs the
+  training scaler statistics, and a degradation verdict
+  (:class:`QualityMonitor`);
+* :mod:`repro.telemetry.prometheus` — text exposition of a registry in
+  the Prometheus scrape format (:func:`render_prometheus`);
 * :mod:`repro.telemetry.profiler` — an autodiff op profiler that hooks
   ``Tensor`` op dispatch and reports per-op counts, forward/backward
   wall time and allocation sizes (:func:`profile_report`);
 * :mod:`repro.telemetry.callbacks` — the ``Trainer`` event bus
   (:class:`Callback`) with built-in :class:`EpochLogger`,
-  :class:`JSONLRunRecorder` and :class:`Profiler` observers.
+  :class:`JSONLRunRecorder`, :class:`Profiler` and :class:`TraceSpans`
+  observers.
 """
 
-from .callbacks import Callback, CallbackList, EpochLogger, JSONLRunRecorder, Profiler
+from .callbacks import (
+    Callback,
+    CallbackList,
+    EpochLogger,
+    JSONLRunRecorder,
+    Profiler,
+    TraceSpans,
+)
 from .profiler import OpProfiler, OpStats, active_profiler, profile, profile_report
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import render_prometheus
+from .quality import QualityMonitor, QualityReport, QualityThresholds
 from .registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
@@ -30,6 +51,7 @@ from .registry import (
     span,
     timer,
 )
+from .trace import Span, SpanContext, Tracer, format_trace, get_tracer, set_tracer
 
 __all__ = [
     "MetricRegistry",
@@ -37,6 +59,7 @@ __all__ = [
     "Gauge",
     "Timer",
     "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "get_registry",
     "set_registry",
     "counter",
@@ -44,6 +67,17 @@ __all__ = [
     "timer",
     "histogram",
     "span",
+    "Tracer",
+    "Span",
+    "SpanContext",
+    "get_tracer",
+    "set_tracer",
+    "format_trace",
+    "QualityMonitor",
+    "QualityReport",
+    "QualityThresholds",
+    "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
     "OpProfiler",
     "OpStats",
     "profile",
@@ -54,4 +88,5 @@ __all__ = [
     "EpochLogger",
     "JSONLRunRecorder",
     "Profiler",
+    "TraceSpans",
 ]

@@ -1,0 +1,133 @@
+"""Prometheus text exposition (format 0.0.4) for a MetricRegistry.
+
+Renders the registry's live primitives as the plain-text scrape format
+every Prometheus-compatible collector understands, so ``GET /metrics``
+works with standard tooling instead of a bespoke JSON shape (which stays
+available behind ``?format=json``).
+
+Mapping:
+
+* ``Counter``    → ``counter`` with the conventional ``_total`` suffix;
+* ``Gauge``      → ``gauge``;
+* ``Timer``      → ``summary`` (``_count`` / ``_sum``, no quantiles —
+  quantile lines are optional in the format);
+* ``Histogram``  → ``histogram`` with cumulative ``_bucket{le="..."}``
+  lines over the fixed bounds plus ``+Inf``, ``_sum`` and ``_count``.
+
+Registry names are slash-namespaced (``serve/latency_ms``); exposition
+prefixes ``repro_`` and rewrites every character outside
+``[a-zA-Z0-9_:]`` to ``_`` (``repro_serve_latency_ms``). A trailing
+``{label="value",...}`` block in a registry name passes through as
+Prometheus labels, which is how per-sensor series are modelled:
+``quality/missing_rate{node="3"}`` renders as
+``repro_quality_missing_rate{node="3"}``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .registry import MetricRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: the Content-Type Prometheus scrapers expect for text format 0.0.4
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELS = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)=\"([^\"\\]*)\"$")
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """``base{k="v"}`` → (``base``, ``{k="v"}``); no block → (name, '')."""
+    brace = name.find("{")
+    if brace == -1 or not name.endswith("}"):
+        return name, ""
+    base, block = name[:brace], name[brace + 1 : -1]
+    pairs = []
+    for part in block.split(","):
+        match = _LABELS.match(part.strip())
+        if match is None:  # not a well-formed label block: sanitize whole name
+            return name, ""
+        pairs.append(f'{match.group(1)}="{match.group(2)}"')
+    return base, "{" + ",".join(pairs) + "}"
+
+
+def _metric_name(name: str, namespace: str) -> tuple[str, str]:
+    base, labels = _split_labels(name)
+    base = _INVALID.sub("_", base).strip("_")
+    if namespace:
+        base = f"{namespace}_{base}"
+    if base and base[0].isdigit():
+        base = "_" + base
+    return base, labels
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricRegistry, namespace: str = "repro") -> str:
+    """Render every metric in ``registry`` as Prometheus text format.
+
+    Series sharing a base name (label variants) are grouped under one
+    ``# TYPE`` header, as the format requires.
+    """
+    counters: dict[str, list[str]] = {}
+    gauges: dict[str, list[str]] = {}
+    summaries: dict[str, list[str]] = {}
+    histograms: dict[str, list[str]] = {}
+
+    with registry._create_lock:  # freeze membership against concurrent creation
+        counter_items = sorted(registry._counters.items())
+        gauge_items = sorted(registry._gauges.items())
+        timer_items = sorted(registry._timers.items())
+        histogram_items = sorted(registry._histograms.items())
+
+    for name, metric in counter_items:
+        base, labels = _metric_name(name, namespace)
+        counters.setdefault(base + "_total", []).append(
+            f"{base}_total{labels} {_format_value(metric.value)}"
+        )
+
+    for name, metric in gauge_items:
+        base, labels = _metric_name(name, namespace)
+        gauges.setdefault(base, []).append(
+            f"{base}{labels} {_format_value(metric.value)}"
+        )
+
+    for name, metric in timer_items:
+        base, labels = _metric_name(name, namespace)
+        summaries.setdefault(base, []).extend([
+            f"{base}_count{labels} {metric.count}",
+            f"{base}_sum{labels} {_format_value(metric.total)}",
+        ])
+
+    for name, metric in histogram_items:
+        base, labels = _metric_name(name, namespace)
+        lines = histograms.setdefault(base, [])
+        inner = labels[1:-1] if labels else ""
+        for bound, cumulative in metric.cumulative_buckets():
+            le = f'le="{_format_value(bound)}"'
+            label_block = "{" + (inner + "," if inner else "") + le + "}"
+            lines.append(f"{base}_bucket{label_block} {cumulative}")
+        lines.append(f"{base}_sum{labels} {_format_value(metric.sum if metric.count else 0.0)}")
+        lines.append(f"{base}_count{labels} {metric.count}")
+
+    out: list[str] = []
+    for family, kind in (
+        (counters, "counter"),
+        (gauges, "gauge"),
+        (summaries, "summary"),
+        (histograms, "histogram"),
+    ):
+        for base in sorted(family):
+            out.append(f"# TYPE {base} {kind}")
+            out.extend(family[base])
+    return "\n".join(out) + ("\n" if out else "")

@@ -11,12 +11,21 @@ A module-level *default registry* backs the convenience functions
 :func:`span`) so library code can emit metrics without threading a
 registry handle through every call site. Tests inject a fake clock via
 ``MetricRegistry(clock=...)`` for deterministic timings.
+
+Primitives are mutated concurrently — HTTP handler threads, the
+micro-batching dispatcher and the observation feed all share one
+registry — so every update takes a per-primitive lock. The lock guards
+a handful of float updates; contention is negligible next to a model
+forward.
 """
 
 from __future__ import annotations
 
 import contextlib
+import random
+import threading
 import time
+import zlib
 from typing import Callable, Iterator
 
 __all__ = [
@@ -24,6 +33,7 @@ __all__ = [
     "Gauge",
     "Timer",
     "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
     "MetricRegistry",
     "get_registry",
     "set_registry",
@@ -34,39 +44,51 @@ __all__ = [
     "span",
 ]
 
+#: Fixed latency buckets (milliseconds) for Prometheus histogram
+#: exposition; chosen to straddle the serve path's cache-hit (<1ms)
+#: through cold-batch (~100ms) regimes.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
 
 class Counter:
-    """Monotonically increasing count of events."""
+    """Monotonically increasing count of events (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
 
 
 class Gauge:
-    """Last-written value of a quantity that can go up or down."""
+    """Last-written value of a quantity that can go up or down (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, delta: float) -> None:
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def snapshot(self) -> float:
         return self.value
@@ -79,7 +101,7 @@ class Timer:
     manager measuring its body with the registry clock.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_clock")
+    __slots__ = ("name", "count", "total", "min", "max", "_clock", "_lock")
 
     def __init__(self, name: str, clock: Callable[[], float] = time.perf_counter):
         self.name = name
@@ -88,14 +110,16 @@ class Timer:
         self.min = float("inf")
         self.max = 0.0
         self._clock = clock
+        self._lock = threading.Lock()
 
     def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
 
     @property
     def mean(self) -> float:
@@ -120,17 +144,30 @@ class Timer:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max/mean) plus raw samples.
+    """Streaming summary (count/sum/min/max/mean) plus sampled values.
 
-    Keeps at most ``max_samples`` raw observations (reservoir-free: the
-    earliest samples are retained, which is adequate for the short runs
-    this repo profiles) so percentiles stay available without unbounded
-    memory.
+    Keeps at most ``max_samples`` raw observations via reservoir sampling
+    (Vitter's Algorithm R, seeded by the metric name so runs are
+    deterministic): once the reservoir is full, each new observation
+    replaces a uniformly random slot with probability
+    ``max_samples / count``, so :meth:`percentile` stays representative
+    of the *whole* stream on long-running servers instead of freezing on
+    the first 4096 values.
+
+    ``buckets`` are fixed upper bounds (default: the serve-latency
+    milliseconds ladder) counted cumulatively for Prometheus histogram
+    exposition; an implicit ``+Inf`` bucket catches the overflow.
     """
 
-    __slots__ = ("name", "count", "sum", "min", "max", "samples", "max_samples")
+    __slots__ = ("name", "count", "sum", "min", "max", "samples", "max_samples",
+                 "buckets", "bucket_counts", "_rng", "_lock")
 
-    def __init__(self, name: str, max_samples: int = 4096):
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = 4096,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ):
         self.name = name
         self.count = 0
         self.sum = 0.0
@@ -138,17 +175,33 @@ class Histogram:
         self.max = float("-inf")
         self.samples: list[float] = []
         self.max_samples = max_samples
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        # one count per finite bucket + a final overflow (+Inf) slot
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self.samples) < self.max_samples:
-            self.samples.append(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for idx, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[idx] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+            if len(self.samples) < self.max_samples:
+                self.samples.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.max_samples:
+                    self.samples[slot] = value
 
     @property
     def mean(self) -> float:
@@ -156,16 +209,33 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile ``q`` in [0, 100] over retained samples."""
-        if not self.samples:
-            return 0.0
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self.samples)
+        with self._lock:
+            ordered = sorted(self.samples)
+        if not ordered:
+            return 0.0
         pos = (len(ordered) - 1) * q / 100.0
         lo = int(pos)
         hi = min(lo + 1, len(ordered) - 1)
         frac = pos - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``.
+
+        This is the Prometheus histogram convention: each bucket counts
+        every observation less than or equal to its bound.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+        pairs = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
 
     def snapshot(self) -> dict:
         return {
@@ -194,30 +264,43 @@ class MetricRegistry:
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}
         self._span_stack: list[str] = []
+        # Guards first-access creation when two threads race on a name.
+        self._create_lock = threading.Lock()
 
     # -- primitive accessors ------------------------------------------
     def counter(self, name: str) -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = Counter(name)
+            with self._create_lock:
+                metric = self._counters.setdefault(name, Counter(name))
         return metric
 
     def gauge(self, name: str) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+            with self._create_lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
         return metric
 
     def timer(self, name: str) -> Timer:
         metric = self._timers.get(name)
         if metric is None:
-            metric = self._timers[name] = Timer(name, clock=self._clock)
+            with self._create_lock:
+                metric = self._timers.setdefault(name, Timer(name, clock=self._clock))
         return metric
 
-    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        max_samples: int = 4096,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name, max_samples=max_samples)
+            with self._create_lock:
+                metric = self._histograms.setdefault(
+                    name, Histogram(name, max_samples=max_samples, buckets=buckets)
+                )
         return metric
 
     # -- spans ---------------------------------------------------------
@@ -248,11 +331,16 @@ class MetricRegistry:
     # -- lifecycle -----------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-serialisable view of every metric."""
+        with self._create_lock:  # freeze membership, not values
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            timers = list(self._timers.items())
+            histograms = list(self._histograms.items())
         return {
-            "counters": {n: c.snapshot() for n, c in self._counters.items()},
-            "gauges": {n: g.snapshot() for n, g in self._gauges.items()},
-            "timers": {n: t.snapshot() for n, t in self._timers.items()},
-            "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
+            "counters": {n: c.snapshot() for n, c in counters},
+            "gauges": {n: g.snapshot() for n, g in gauges},
+            "timers": {n: t.snapshot() for n, t in timers},
+            "histograms": {n: h.snapshot() for n, h in histograms},
         }
 
     def reset(self) -> None:
@@ -294,8 +382,12 @@ def timer(name: str) -> Timer:
     return _DEFAULT_REGISTRY.timer(name)
 
 
-def histogram(name: str, max_samples: int = 4096) -> Histogram:
-    return _DEFAULT_REGISTRY.histogram(name, max_samples=max_samples)
+def histogram(
+    name: str,
+    max_samples: int = 4096,
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+) -> Histogram:
+    return _DEFAULT_REGISTRY.histogram(name, max_samples=max_samples, buckets=buckets)
 
 
 def span(name: str):

@@ -137,7 +137,7 @@ class TestEndpoints:
     def test_metrics_exposes_serve_counters(self, server):
         base, app = server
         _get(base, "/forecast")
-        status, metrics = _get(base, "/metrics")
+        status, metrics = _get(base, "/metrics?format=json")
         assert status == 200
         assert metrics["counters"]["serve/requests"] >= 1
         assert "serve/latency_ms" in metrics["histograms"]

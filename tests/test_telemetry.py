@@ -238,3 +238,85 @@ class TestOpProfiler:
         # softmax decomposes into primitives; each is counted
         assert prof.stats["exp"].calls >= 1
         assert prof.stats["div"].calls >= 1
+
+
+class TestHistogramReservoir:
+    def test_late_samples_influence_percentiles(self):
+        """Regression: the old cap froze the sample set on the first
+        ``max_samples`` observations, so a latency shift after warm-up
+        never moved ``percentile()``. Reservoir sampling keeps admitting
+        late values with probability max_samples/count."""
+        h = MetricRegistry().histogram("h", max_samples=64)
+        for _ in range(64):
+            h.observe(1.0)
+        for _ in range(640):
+            h.observe(100.0)
+        assert len(h.samples) == 64
+        assert any(v == 100.0 for v in h.samples)
+        # ~10:1 late:early observations → upper percentiles must shift
+        assert h.percentile(90) == pytest.approx(100.0)
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = MetricRegistry().histogram(name, max_samples=8)
+            for v in range(100):
+                h.observe(float(v))
+            return list(h.samples)
+
+        assert fill("same") == fill("same")
+
+    def test_bucket_counts_cumulative_with_inf(self):
+        h = MetricRegistry().histogram("h", buckets=(1.0, 10.0))
+        for v in [0.5, 0.7, 5.0, 99.0]:
+            h.observe(v)
+        assert h.cumulative_buckets() == [
+            (1.0, 2), (10.0, 3), (float("inf"), 4),
+        ]
+
+
+class TestThreadSafety:
+    """Concurrent hammer: totals must be exact, not approximately right."""
+
+    THREADS = 8
+    ITERATIONS = 2500
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                work()
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_inc_is_atomic(self):
+        c = MetricRegistry().counter("hits")
+        self._hammer(lambda: c.inc())
+        assert c.value == self.THREADS * self.ITERATIONS
+
+    def test_gauge_add_is_atomic(self):
+        g = MetricRegistry().gauge("level")
+        self._hammer(lambda: g.add(1.0))
+        assert g.value == self.THREADS * self.ITERATIONS
+
+    def test_histogram_observe_is_atomic(self):
+        h = MetricRegistry().histogram("lat", max_samples=128, buckets=(0.5,))
+        self._hammer(lambda: h.observe(1.0))
+        expected = self.THREADS * self.ITERATIONS
+        assert h.count == expected
+        assert h.sum == pytest.approx(float(expected))
+        assert h.cumulative_buckets()[-1][1] == expected
+        assert len(h.samples) == 128
+
+    def test_racy_first_access_yields_one_instance(self):
+        registry = MetricRegistry()
+        seen = []
+        self._hammer(lambda: seen.append(registry.counter("shared")))
+        assert all(c is seen[0] for c in seen)

@@ -1,0 +1,178 @@
+"""Tests for data-quality monitoring (repro.telemetry.quality)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import StateStore
+from repro.telemetry import (
+    MetricRegistry,
+    QualityMonitor,
+    QualityThresholds,
+)
+
+
+def _window(mask, values=None):
+    """Minimal duck-typed StateWindow: just .x and .m."""
+    mask = np.asarray(mask, dtype=np.float64)
+    values = np.zeros_like(mask) if values is None else np.asarray(values)
+
+    class W:
+        x = values
+        m = mask
+
+    return W()
+
+
+class TestMissingRateEWMA:
+    def test_first_update_seeds_the_ewma(self):
+        monitor = QualityMonitor(num_nodes=2, registry=MetricRegistry())
+        mask = np.zeros((4, 2, 1))
+        mask[:, 0, :] = 1.0  # node 0 fully observed, node 1 fully missing
+        report = monitor.update(_window(mask))
+        assert report.missing_rate_ewma[0] == pytest.approx(0.0)
+        assert report.missing_rate_ewma[1] == pytest.approx(1.0)
+
+    def test_ewma_blends_with_alpha(self):
+        monitor = QualityMonitor(num_nodes=1, alpha=0.5, registry=MetricRegistry())
+        monitor.update(_window(np.ones((4, 1, 1))))  # 0% missing seeds
+        report = monitor.update(_window(np.zeros((4, 1, 1))))  # 100% missing
+        assert report.missing_rate_ewma[0] == pytest.approx(0.5)
+        assert report.window_missing_rate[0] == pytest.approx(1.0)
+
+    def test_wrong_node_count_rejected(self):
+        monitor = QualityMonitor(num_nodes=3, registry=MetricRegistry())
+        with pytest.raises(ValueError, match="window mask"):
+            monitor.update(_window(np.ones((4, 2, 1))))
+
+
+class TestStaleness:
+    def test_fresh_sensor_zero_silent_sensor_saturates(self):
+        monitor = QualityMonitor(num_nodes=3, registry=MetricRegistry())
+        mask = np.zeros((5, 3, 1))
+        mask[-1, 0] = 1.0  # node 0 reported in the newest slot
+        mask[1, 1] = 1.0  # node 1 last reported 3 slots ago
+        # node 2 never reported
+        report = monitor.update(_window(mask))
+        assert report.staleness_steps == [0, 3, 5]
+
+
+class TestDrift:
+    def test_zscore_against_training_stats(self):
+        monitor = QualityMonitor(
+            num_nodes=2,
+            train_mean=np.array([10.0]),
+            train_std=np.array([2.0]),
+            registry=MetricRegistry(),
+        )
+        values = np.zeros((4, 2, 1))
+        values[:, 0, :] = 10.0  # node 0 on-distribution
+        values[:, 1, :] = 30.0  # node 1 ten sigmas away
+        report = monitor.update(_window(np.ones_like(values), values))
+        assert report.drift_z[0] == pytest.approx(0.0)
+        assert report.drift_z[1] == pytest.approx(10.0)
+
+    def test_unobserved_sensor_has_zero_drift(self):
+        monitor = QualityMonitor(
+            num_nodes=1,
+            train_mean=np.array([10.0]),
+            train_std=np.array([2.0]),
+            registry=MetricRegistry(),
+        )
+        report = monitor.update(_window(np.zeros((4, 1, 1))))
+        assert report.drift_z[0] == pytest.approx(0.0)
+
+    def test_disabled_without_training_stats(self):
+        monitor = QualityMonitor(num_nodes=1, registry=MetricRegistry())
+        values = np.full((4, 1, 1), 1e9)
+        report = monitor.update(_window(np.ones_like(values), values))
+        assert report.drift_z[0] == pytest.approx(0.0)
+
+
+class TestVerdict:
+    def test_healthy_until_min_updates(self):
+        monitor = QualityMonitor(
+            num_nodes=1,
+            thresholds=QualityThresholds(missing_rate=0.5, min_updates=2),
+            registry=MetricRegistry(),
+        )
+        first = monitor.update(_window(np.zeros((4, 1, 1))))
+        assert first.degraded is False  # cold start grace
+        second = monitor.update(_window(np.zeros((4, 1, 1))))
+        assert second.degraded is True
+
+    def test_feed_cut_flips_degraded_with_reason(self):
+        monitor = QualityMonitor(
+            num_nodes=2,
+            alpha=0.9,
+            thresholds=QualityThresholds(missing_rate=0.8, min_updates=1),
+            registry=MetricRegistry(),
+        )
+        healthy = monitor.update(_window(np.ones((4, 2, 1))))
+        assert healthy.degraded is False
+        cut = np.ones((4, 2, 1))
+        cut[:, 1, :] = 0.0  # node 1 goes dark
+        report = monitor.update(_window(cut))
+        assert report.degraded is True
+        assert any("node 1" in reason for reason in report.reasons)
+        assert not any("node 0" in reason for reason in report.reasons)
+
+    def test_verdict_is_json_ready(self):
+        monitor = QualityMonitor(num_nodes=1, registry=MetricRegistry())
+        assert monitor.verdict() == {"degraded": False, "reasons": [], "updates": 0}
+        monitor.update(_window(np.ones((4, 1, 1))))
+        verdict = monitor.verdict()
+        assert verdict["updates"] == 1
+        assert isinstance(verdict["missing_rate_ewma"][0], float)
+
+
+class TestGauges:
+    def test_per_sensor_gauges_use_node_labels(self):
+        registry = MetricRegistry()
+        monitor = QualityMonitor(num_nodes=2, registry=registry)
+        mask = np.zeros((4, 2, 1))
+        mask[:, 0, :] = 1.0
+        monitor.update(_window(mask))
+        assert registry.gauge('quality/missing_rate{node="0"}').value == 0.0
+        assert registry.gauge('quality/missing_rate{node="1"}').value == 1.0
+        assert registry.gauge("quality/missing_rate_mean").value == pytest.approx(0.5)
+        assert registry.gauge("quality/degraded").value == 0.0
+
+    def test_store_counters_surface_as_gauges(self):
+        registry = MetricRegistry()
+        store = StateStore(num_nodes=2, num_features=1, input_length=3)
+        store.observe(5, np.ones((2, 1)))
+        store.observe(0, np.ones((2, 1)))  # stale → dropped
+        store.observe(50, np.ones((2, 1)))  # huge gap → cold reset
+        monitor = QualityMonitor(num_nodes=2, registry=registry)
+        report = monitor.update(store.window(), store=store)
+        assert report.stale_dropped == 1
+        assert report.cold_resets == 1
+        assert registry.gauge("quality/stale_dropped").value == 1.0
+        assert registry.gauge("quality/cold_resets").value == 1.0
+
+
+class TestStateStoreRecency:
+    def test_sensor_lag_tracks_per_sensor_recency(self):
+        store = StateStore(num_nodes=3, num_features=1, input_length=4)
+        store.observe_sensor(0, 0, 1.0)
+        store.observe_sensor(2, 1, 1.0)
+        lag = store.sensor_lag()
+        assert lag.tolist() == [2, 0, 3]  # node 2 never seen → feed age
+
+    def test_sensor_summary_reports_never_seen_as_none(self):
+        store = StateStore(num_nodes=2, num_features=1, input_length=4)
+        store.observe_sensor(1, 0, 1.0)
+        summary = store.sensor_summary()
+        assert summary["last_seen_step"] == [1, None]
+        assert summary["lag_steps"] == [0, 2]
+        assert summary["observations"] == 1
+
+    def test_cold_reset_counted_once_per_wipe(self):
+        store = StateStore(num_nodes=1, num_features=1, input_length=3)
+        assert store.cold_resets == 0
+        store.observe(0, np.ones((1, 1)))
+        assert store.cold_resets == 0  # feed start is not an outage
+        store.observe(10, np.ones((1, 1)))
+        assert store.cold_resets == 1
+        store.observe(11, np.ones((1, 1)))
+        assert store.cold_resets == 1
