@@ -1,0 +1,69 @@
+"""Global floating-point dtype policy.
+
+Training in float64 doubles every matmul's memory traffic for precision
+the models never need — the DCRNN / Graph WaveNet lineage trains in
+float32 as standard practice. The policy below is the single switch that
+decides which float dtype the engine materialises:
+
+* :class:`Tensor` casts non-float input (ints, bools, python lists) to
+  the policy dtype instead of hard-coded float64;
+* ``nn.init`` initializers, dataset scalers, serving state buffers and
+  model input coercions all allocate in the policy dtype;
+* explicit float arrays keep their dtype, so a float64 array passed in
+  stays float64 — that is what keeps :func:`gradcheck` tight (numpy's
+  promotion rules carry float64 inputs through float32 parameters).
+
+The default is ``float32``. Opt back into float64 either process-wide
+(``REPRO_DTYPE=float64`` in the environment, or
+:func:`set_default_dtype`) or locally with the :func:`dtype_policy`
+context manager::
+
+    with dtype_policy("float64"):
+        assert gradcheck(fn, inputs)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+__all__ = ["default_dtype", "set_default_dtype", "dtype_policy"]
+
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _coerce(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED:
+        raise ValueError(
+            f"dtype policy must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
+_DEFAULT_DTYPE = _coerce(os.environ.get("REPRO_DTYPE", np.float32))
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new float tensors/buffers are allocated in."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide policy dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _coerce(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_policy(dtype):
+    """Temporarily switch the policy dtype (e.g. float64 for gradcheck)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _DEFAULT_DTYPE
+    finally:
+        set_default_dtype(previous)

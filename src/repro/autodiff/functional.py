@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtype import default_dtype
 from .tensor import Tensor, as_tensor, maximum, where
 
 __all__ = [
@@ -55,12 +56,12 @@ def dropout_mask(shape: tuple[int, ...], p: float, rng: np.random.Generator) -> 
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     keep = rng.random(shape) >= p
-    return keep.astype(np.float64) / (1.0 - p)
+    return keep.astype(default_dtype()) / np.asarray(1.0 - p, dtype=default_dtype())
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     """Dense one-hot encoding of an integer index array."""
-    out = np.zeros(indices.shape + (num_classes,))
+    out = np.zeros(indices.shape + (num_classes,), dtype=default_dtype())
     np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
     return out
 

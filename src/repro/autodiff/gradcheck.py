@@ -11,9 +11,27 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .dtype import dtype_policy
 from .tensor import Tensor
 
 __all__ = ["numerical_gradient", "gradcheck"]
+
+
+def _require_float64(inputs: Sequence[Tensor], which: Sequence[int], caller: str) -> None:
+    """Finite differences with eps ~1e-6 drown in float32 rounding noise.
+
+    Raise a clear error instead of reporting spurious mismatches when a
+    check is attempted on float32 inputs (the global policy default).
+    """
+    for i in which:
+        if inputs[i].data.dtype != np.float64:
+            raise TypeError(
+                f"{caller} requires float64 inputs, but input {i} has dtype "
+                f"{inputs[i].data.dtype}. The global dtype policy defaults "
+                "to float32 for speed; build the check's inputs from "
+                "float64 arrays or run it under "
+                "repro.autodiff.dtype_policy('float64')."
+            )
 
 
 def numerical_gradient(
@@ -36,18 +54,22 @@ def numerical_gradient(
     eps:
         Finite-difference step size.
     """
+    _require_float64(inputs, [index], "numerical_gradient")
     target = inputs[index]
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = float(fn(*inputs).data.sum())
-        flat[i] = original - eps
-        minus = float(fn(*inputs).data.sum())
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    # Internal constants (init_state zeros, where fills...) must not
+    # truncate the perturbed computation to float32.
+    with dtype_policy(np.float64):
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*inputs).data.sum())
+            flat[i] = original - eps
+            minus = float(fn(*inputs).data.sum())
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2.0 * eps)
     return grad
 
 
@@ -63,10 +85,16 @@ def gradcheck(
     Raises ``AssertionError`` with a diagnostic message on mismatch; returns
     ``True`` on success so it can be used inside ``assert gradcheck(...)``.
     """
+    _require_float64(
+        inputs,
+        [i for i, inp in enumerate(inputs) if inp.requires_grad],
+        "gradcheck",
+    )
     for inp in inputs:
         inp.zero_grad()
-    out = fn(*inputs)
-    out.sum().backward()
+    with dtype_policy(np.float64):
+        out = fn(*inputs)
+        out.sum().backward()
     for i, inp in enumerate(inputs):
         if not inp.requires_grad:
             continue

@@ -25,14 +25,18 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .dtype import default_dtype
+
 __all__ = [
     "Tensor",
+    "SliceGrad",
     "no_grad",
     "inference_mode",
     "enable_grad",
     "is_grad_enabled",
     "as_tensor",
     "concat",
+    "split",
     "stack",
     "where",
     "maximum",
@@ -113,14 +117,50 @@ def as_tensor(value, requires_grad: bool = False) -> "Tensor":
     return Tensor(value, requires_grad=requires_grad)
 
 
+class SliceGrad:
+    """A gradient confined to a basic-indexed region of its parent.
+
+    Backward closures of slicing ops (``__getitem__`` with basic indices,
+    :func:`split`) return this instead of a dense zero-padded array. The
+    backward engine scatters it into the parent's accumulation buffer in
+    place — so the four gate slices of an LSTM step share *one* dense
+    gradient buffer instead of allocating (and then summing) four
+    full-size arrays through ``np.add.at``.
+    """
+
+    __slots__ = ("index", "grad")
+
+    def __init__(self, index, grad: np.ndarray):
+        self.index = index
+        self.grad = grad
+
+    def to_dense(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        buffer = np.zeros(shape, dtype=dtype)
+        buffer[self.index] = self.grad
+        return buffer
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` triggers numpy basic (view) indexing only."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        item is None
+        or item is Ellipsis
+        or isinstance(item, (int, np.integer, slice))
+        for item in items
+    )
+
+
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff.
 
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts. Stored as ``float64`` unless the
-        array already has a float dtype.
+        Anything ``numpy.asarray`` accepts. Non-float input (ints, bools,
+        python lists of ints) is cast to the policy dtype
+        (:func:`repro.autodiff.default_dtype`, float32 unless overridden);
+        arrays that already have a float dtype keep it.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` for this
         tensor when :meth:`backward` is called on a downstream result.
@@ -135,7 +175,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False):
         arr = np.asarray(data)
         if arr.dtype.kind not in "fc":
-            arr = arr.astype(np.float64)
+            arr = arr.astype(default_dtype())
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad)
@@ -243,15 +283,24 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
+        # Accumulation buffers per pending node. ``owned`` marks buffers
+        # this pass allocated itself — those are accumulated into
+        # *in place*; anything handed back by a backward closure may
+        # alias the closure's saved arrays (or a sibling's gradient), so
+        # it is copied on the first accumulation instead of mutated.
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
+            key = id(node)
+            node_grad = grads.pop(key, None)
             if node_grad is None:
                 continue
+            node_owned = key in owned
+            owned.discard(key)
             if node._backward is None:
-                # Leaf: accumulate.
+                # Leaf: accumulate, taking ownership of our own buffers.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    node.grad = node_grad if node_owned else node_grad.copy()
                 else:
                     node.grad = node.grad + node_grad
                 continue
@@ -259,12 +308,36 @@ class Tensor:
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + pgrad
+                pkey = id(parent)
+                existing = grads.get(pkey)
+                if type(pgrad) is SliceGrad:
+                    if existing is None:
+                        grads[pkey] = pgrad.to_dense(
+                            parent.data.shape, parent.data.dtype
+                        )
+                        owned.add(pkey)
+                        continue
+                    if pkey not in owned:
+                        existing = existing.copy()
+                        grads[pkey] = existing
+                        owned.add(pkey)
+                    existing[pgrad.index] += pgrad.grad
+                elif existing is None:
+                    grads[pkey] = pgrad
+                elif pkey in owned:
+                    existing += pgrad
                 else:
-                    grads[key] = pgrad
-        # Free references so intermediate buffers can be collected.
+                    grads[pkey] = existing + pgrad
+                    owned.add(pkey)
+            # Release this node's saved parents and closure immediately:
+            # intermediate activations captured for the backward become
+            # collectable as soon as their gradients have been routed,
+            # instead of living until the whole pass finishes.
+            if node is not self:
+                node._parents = ()
+                node._backward = None
+        # Nodes whose gradient never arrived (dead branches) still hold
+        # their tape entries — free those too.
         for node in topo:
             if node is not self:
                 node._parents = ()
@@ -410,13 +483,12 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, None))),
-            np.exp(np.clip(self.data, None, 500))
-            / (1.0 + np.exp(np.clip(self.data, None, 500))),
-        )
+        # Numerically stable logistic: exp(-|x|) is in (0, 1], so one
+        # exp call covers both branches without clipping.
+        t = np.exp(-np.abs(self.data))
+        t += 1.0
+        pos = np.divide(1.0, t, out=t)  # 1 / (1 + exp(-|x|)), buffer reused
+        data = np.where(self.data >= 0, pos, 1.0 - pos)
         if not _GRAD_ENABLED:
             return Tensor(data)
 
@@ -647,10 +719,20 @@ class Tensor:
             return Tensor(self.data[index])
         data = self.data[index]
 
-        def backward(g, a=self, idx=index):
-            grad = np.zeros_like(a.data)
-            np.add.at(grad, idx, g)
-            return (grad,)
+        if _is_basic_index(index):
+            # Basic indices hit each source element at most once, so the
+            # gradient is a plain scatter — return a SliceGrad and let
+            # the backward engine write into a shared parent buffer
+            # instead of allocating a dense zero array per slice.
+            def backward(g, idx=index):
+                return (SliceGrad(idx, g),)
+        else:
+            # Fancy indices may repeat elements; np.add.at handles the
+            # required accumulation.
+            def backward(g, a=self, idx=index):
+                grad = np.zeros_like(a.data)
+                np.add.at(grad, idx, g)
+                return (grad,)
 
         return Tensor._make(data, (self,), backward, "getitem")
 
@@ -678,6 +760,52 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward, "concat")
 
 
+def split(x: Tensor, sections: int | Sequence[int], axis: int = -1) -> tuple[Tensor, ...]:
+    """Split ``x`` into chunks along ``axis`` — the inverse of :func:`concat`.
+
+    ``sections`` is either a chunk count (the axis must divide evenly,
+    like ``numpy.split``) or an explicit sequence of chunk sizes summing
+    to the axis length. The forward pass returns zero-copy views; each
+    chunk's backward is a :class:`SliceGrad`, so all chunks accumulate
+    into one shared parent buffer — this replaces the sliced-``getitem``
+    gate reads in :class:`~repro.nn.LSTMCell` (4 dense ``np.add.at``
+    scatters per step) with in-place writes into a single buffer.
+    """
+    x = as_tensor(x)
+    ndim = x.data.ndim
+    if not -ndim <= axis < ndim:
+        raise ValueError(f"axis {axis} out of range for shape {x.shape}")
+    axis = axis % ndim
+    length = x.data.shape[axis]
+    if isinstance(sections, (int, np.integer)):
+        if sections < 1 or length % sections != 0:
+            raise ValueError(
+                f"cannot split axis of length {length} into {sections} equal chunks"
+            )
+        sizes = [length // sections] * int(sections)
+    else:
+        sizes = [int(s) for s in sections]
+        if any(s < 1 for s in sizes) or sum(sizes) != length:
+            raise ValueError(
+                f"section sizes {sizes} must be positive and sum to {length}"
+            )
+    head = (slice(None),) * axis
+    outs = []
+    offset = 0
+    for size in sizes:
+        index = head + (slice(offset, offset + size),)
+        offset += size
+        if not _GRAD_ENABLED:
+            outs.append(Tensor(x.data[index]))
+            continue
+
+        def backward(g, idx=index):
+            return (SliceGrad(idx, g),)
+
+        outs.append(Tensor._make(x.data[index], (x,), backward, "split"))
+    return tuple(outs)
+
+
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
@@ -686,7 +814,10 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(g, ax=axis, n=len(tensors)):
-        return [np.take(g, i, axis=ax) for i in range(n)]
+        # Views, not copies: the engine only materialises a parent's
+        # slice if that parent actually needs gradient accumulation.
+        rolled = np.moveaxis(g, ax, 0)
+        return [rolled[i] for i in range(n)]
 
     return Tensor._make(data, tuple(tensors), backward, "stack")
 

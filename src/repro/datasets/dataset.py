@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..autodiff import default_dtype
 from .network import RoadNetwork
 
 __all__ = ["TrafficDataset"]
@@ -93,7 +94,7 @@ class TrafficDataset:
         Entries newly masked out are zeroed in ``data`` so no model can
         accidentally peek at them.
         """
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=default_dtype())
         if mask.shape != self.data.shape:
             raise ValueError(f"mask shape {mask.shape} != data shape {self.data.shape}")
         source = self.truth if self.truth is not None else self.data

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..autodiff import default_dtype
+
 __all__ = [
     "mcar_mask",
     "block_mask",
@@ -30,7 +32,7 @@ def mcar_mask(
     """Missing-completely-at-random mask; 1=observed, 0=missing."""
     if not 0.0 <= missing_rate < 1.0:
         raise ValueError(f"missing_rate must be in [0, 1), got {missing_rate}")
-    return (rng.random(shape) >= missing_rate).astype(np.float64)
+    return (rng.random(shape) >= missing_rate).astype(default_dtype())
 
 
 def block_mask(
@@ -45,7 +47,7 @@ def block_mask(
     for a random span with length drawn from ``block_length``.
     """
     total, nodes, _features = shape
-    mask = np.ones(shape)
+    mask = np.ones(shape, dtype=default_dtype())
     lo, hi = block_length
     if lo < 1 or hi < lo:
         raise ValueError(f"invalid block_length range {block_length}")
@@ -69,7 +71,7 @@ def sensor_failure_mask(
     cabinet uplink.
     """
     total, nodes, features = shape
-    node_mask = (rng.random((total, nodes)) >= failure_rate).astype(np.float64)
+    node_mask = (rng.random((total, nodes)) >= failure_rate).astype(default_dtype())
     return np.repeat(node_mask[:, :, None], features, axis=2)
 
 
@@ -100,5 +102,5 @@ def holdout_observed(
     observed = mask > 0
     drop = (rng.random(mask.shape) < holdout_rate) & observed
     training_mask = mask * (~drop)
-    holdout_mask = drop.astype(np.float64)
+    holdout_mask = drop.astype(default_dtype())
     return training_mask, holdout_mask

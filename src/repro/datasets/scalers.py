@@ -3,11 +3,17 @@
 The scaler is mask-aware: statistics are computed over *observed* entries
 only, otherwise the zeros standing in for missing values would bias the
 mean/std at high missing rates.
+
+Statistics are *accumulated* in float64 (sums over long series lose
+precision in float32) but *stored* in the policy dtype, so transformed
+arrays come out in the policy dtype and the training loop never upcasts.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..autodiff import default_dtype
 
 __all__ = ["ZScoreScaler"]
 
@@ -61,8 +67,8 @@ class ZScoreScaler:
             var = (((flat - mean) ** 2) * mask_flat).sum(axis=axis) / count_safe
             std = np.sqrt(var)
         std = np.where(std < 1e-8, 1.0, std)  # constant features pass through
-        self.mean_ = mean
-        self.std_ = std
+        self.mean_ = mean.astype(default_dtype())
+        self.std_ = std.astype(default_dtype())
         return self
 
     def _check_fitted(self) -> None:
@@ -72,9 +78,9 @@ class ZScoreScaler:
     def transform(self, data: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """Standardize; masked-out entries stay exactly zero."""
         self._check_fitted()
-        out = (np.asarray(data, dtype=np.float64) - self.mean_) / self.std_
+        out = (np.asarray(data, dtype=default_dtype()) - self.mean_) / self.std_
         if mask is not None:
-            out = out * np.asarray(mask, dtype=np.float64)
+            out = out * np.asarray(mask, dtype=default_dtype())
         return out
 
     def fit_transform(self, data: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
@@ -83,4 +89,4 @@ class ZScoreScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         """Map standardized values back to the original units."""
         self._check_fitted()
-        return np.asarray(data, dtype=np.float64) * self.std_ + self.mean_
+        return np.asarray(data, dtype=default_dtype()) * self.std_ + self.mean_

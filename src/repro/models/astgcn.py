@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat
+from ..autodiff import Tensor, concat, default_dtype
 from ..graphs import chebyshev_polynomials
 from ..nn import (
     CausalConv1d,
@@ -98,7 +98,7 @@ class _Branch(Module):
     def forward(self, x: np.ndarray) -> Tensor:
         """``x``: ``(B, T_seg, N, C)`` -> ``(B, N, output_size)``."""
         batch, steps, nodes, _features = x.shape
-        h = Tensor(np.asarray(x, dtype=np.float64)).swapaxes(1, 2)  # (B, N, T, C)
+        h = Tensor(np.asarray(x, dtype=default_dtype())).swapaxes(1, 2)  # (B, N, T, C)
         for block in self.blocks:
             h = block(h)
         return self.head(h.reshape(batch, nodes, steps * h.shape[-1]))
@@ -148,9 +148,9 @@ class ASTGCN(NeuralForecaster):
                 num_features, hidden_channels, num_blocks, cheb, rng,
             )
             # Learned elementwise fusion weights (one map per branch).
-            self.fuse_recent = Parameter(np.ones((num_nodes, output_size)))
+            self.fuse_recent = Parameter(init.ones((num_nodes, output_size)))
             self.fuse_daily = Parameter(
-                np.zeros((num_nodes, output_size))
+                init.zeros((num_nodes, output_size))
             )
 
     def forward(
@@ -161,7 +161,7 @@ class ASTGCN(NeuralForecaster):
         x_daily: np.ndarray | None = None,
         m_daily: np.ndarray | None = None,
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         batch = x.shape[0]
         nodes = x.shape[2]
         out = self.recent(x)  # (B, N, T_out * D_out)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, stack
+from ..autodiff import Tensor, concat, default_dtype, stack
 from ..nn import Linear, Module, Parameter, init
 from .base import ForecastOutput, NeuralForecaster
 
@@ -28,7 +28,7 @@ def random_walk_supports(adjacency: np.ndarray) -> list[np.ndarray]:
     For undirected graphs the two coincide and one support is returned;
     the dual-support form matters for directed road networks.
     """
-    adj = np.asarray(adjacency, dtype=np.float64)
+    adj = np.asarray(adjacency, dtype=default_dtype())
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise ValueError(f"adjacency must be square, got {adj.shape}")
 
@@ -67,7 +67,7 @@ class DiffusionConv(Module):
         self.out_channels = out_channels
         self._powers: list[Tensor] = []
         for support in supports:
-            support = np.asarray(support, dtype=np.float64)
+            support = np.asarray(support, dtype=default_dtype())
             power = np.eye(support.shape[0])
             for _ in range(max_step):
                 power = power @ support
@@ -107,7 +107,7 @@ class DCGRUCell(Module):
     def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
         """``x``: ``(B, N, C)``; ``h``: ``(B, N, H)`` -> new ``h``."""
         if h is None:
-            h = Tensor(np.zeros(x.shape[:-1] + (self.hidden_dim,)))
+            h = Tensor(np.zeros(x.shape[:-1] + (self.hidden_dim,), dtype=default_dtype()))
         combined = concat([x, h], axis=-1)
         gates = self.gates(combined).sigmoid()
         r = gates[:, :, : self.hidden_dim]
@@ -150,14 +150,14 @@ class DCRNN(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(f"expected {self.input_length} steps, got {steps}")
         h = None
         for t in range(steps):
             h = self.encoder(Tensor(x[:, t]), h)
-        decoder_input = Tensor(np.zeros((batch, nodes, self.output_features)))
+        decoder_input = Tensor(np.zeros((batch, nodes, self.output_features), dtype=default_dtype()))
         outputs = []
         for _step in range(self.output_length):
             h = self.decoder(decoder_input, h)

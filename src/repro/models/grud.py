@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, stack
+from ..autodiff import Tensor, concat, default_dtype, stack
 from ..nn import GRUCell, Linear, Parameter, init
 from .base import ForecastOutput, NeuralForecaster
 
@@ -38,7 +38,7 @@ def compute_deltas(mask: np.ndarray) -> np.ndarray:
     """
     mask = np.asarray(mask)
     batch, steps = mask.shape[:2]
-    delta = np.zeros_like(mask, dtype=np.float64)
+    delta = np.zeros_like(mask, dtype=default_dtype())
     for t in range(1, steps):
         delta[:, t] = np.where(
             mask[:, t - 1] > 0, 1.0, delta[:, t - 1] + 1.0
@@ -48,7 +48,7 @@ def compute_deltas(mask: np.ndarray) -> np.ndarray:
 
 def forward_fill_last(x: np.ndarray, mask: np.ndarray) -> np.ndarray:
     """Per entry, the most recently observed value (0 before the first)."""
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=default_dtype())
     mask = np.asarray(mask)
     out = np.zeros_like(x)
     carried = np.zeros_like(x[:, 0])
@@ -91,8 +91,8 @@ class GRUDForecaster(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
-        m = np.asarray(m, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
+        m = np.asarray(m, dtype=default_dtype())
         batch, steps, nodes, features = x.shape
         if steps != self.input_length:
             raise ValueError(f"expected {self.input_length} steps, got {steps}")

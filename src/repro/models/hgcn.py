@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, default_dtype
 from ..graphs import HeterogeneousGraphSet, chebyshev_polynomials
 from ..nn import ChebConv, Linear, Module, ModuleList
 
@@ -114,7 +114,7 @@ class HGCNBlock(SpatialEncoder):
         """``x``: ``(B, N, D)``; ``weights``: ``(B, M)`` interval weights."""
         if weights is None:
             raise ValueError("HGCNBlock requires per-sample interval weights")
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=default_dtype())
         if weights.ndim != 2 or weights.shape[1] != self.num_temporal:
             raise ValueError(
                 f"weights must be (B, {self.num_temporal}), got {weights.shape}"

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, no_grad, stack, where
+from ..autodiff import Tensor, concat, default_dtype, no_grad, stack, where
 from ..graphs import HeterogeneousGraphSet
 from ..nn import Linear, LSTMCell, Module
 from .base import ForecastOutput, NeuralForecaster
@@ -247,8 +247,8 @@ class RecurrentImputationForecaster(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
-        m = np.asarray(m, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
+        m = np.asarray(m, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(
@@ -304,7 +304,7 @@ class RecurrentImputationForecaster(NeuralForecaster):
     ) -> tuple[Tensor, Tensor | None, np.ndarray]:
         """Stack per-step estimates, zero-filling boundary steps."""
         batch, steps, nodes, features = shape
-        zero = Tensor(np.zeros((batch, nodes, features)))
+        zero = Tensor(np.zeros((batch, nodes, features), dtype=default_dtype()))
         fwd_stack = stack([e if e is not None else zero for e in est_fwd], axis=1)
         validity = np.array([1.0 if e is not None else 0.0 for e in est_fwd])
         if est_bwd is not None:
@@ -331,13 +331,13 @@ class RecurrentImputationForecaster(NeuralForecaster):
         if out.estimates_bwd is not None:
             bwd = out.estimates_bwd.data
             steps = x.shape[1]
-            fwd_valid = np.array([t > 0 for t in range(steps)], dtype=np.float64)
-            bwd_valid = np.array([t < steps - 1 for t in range(steps)], dtype=np.float64)
+            fwd_valid = np.array([t > 0 for t in range(steps)], dtype=default_dtype())
+            bwd_valid = np.array([t < steps - 1 for t in range(steps)], dtype=default_dtype())
             weight_f = fwd_valid[None, :, None, None]
             weight_b = bwd_valid[None, :, None, None]
             denom = np.maximum(weight_f + weight_b, 1.0)
             estimate = (fwd * weight_f + bwd * weight_b) / denom
         else:
             estimate = fwd
-        m = np.asarray(m, dtype=np.float64)
+        m = np.asarray(m, dtype=default_dtype())
         return m * np.asarray(x) + (1.0 - m) * estimate

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, stack
+from ..autodiff import Tensor, concat, default_dtype, stack
 from ..graphs import chebyshev_polynomials
 from ..nn import ChebConv, Linear, LSTMCell
 from .base import ForecastOutput, NeuralForecaster
@@ -70,7 +70,7 @@ class SpatioTemporalForecaster(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         state = None
         z_steps: list[Tensor] = []

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, default_dtype
 from ..graphs import chebyshev_polynomials
 from ..nn import ChebConv, GatedTCNBlock, Linear, Module
 from .base import ForecastOutput, NeuralForecaster
@@ -89,7 +89,7 @@ class STGCN(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(f"expected {self.input_length} steps, got {steps}")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autodiff import Tensor, concat, softmax
+from ..autodiff import ChebBasis, Tensor, cheb_propagate, concat, default_dtype, softmax
 from . import init
 from .module import Module, Parameter
 
@@ -46,28 +46,15 @@ class ChebConv(Module):
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
-        cheb_stack = np.asarray(cheb_stack, dtype=np.float64)
-        if cheb_stack.ndim != 3 or cheb_stack.shape[1] != cheb_stack.shape[2]:
-            raise ValueError(
-                f"cheb_stack must have shape (K, N, N), got {cheb_stack.shape}"
-            )
+        # The K polynomial hops are fused into one stacked-basis matmul
+        # (see repro.autodiff.fused); the basis is stored in the policy
+        # dtype so propagation never upcasts float32 activations.
+        self._basis = ChebBasis(cheb_stack, sparse=sparse, sparsity_eps=sparsity_eps)
         self.in_channels = in_channels
         self.out_channels = out_channels
-        self.order = cheb_stack.shape[0]
-        self.num_nodes = cheb_stack.shape[1]
+        self.order = self._basis.order
+        self.num_nodes = self._basis.num_nodes
         self.sparse = sparse
-        if sparse:
-            # CSR propagation: pays off for large, sparse road networks.
-            from scipy import sparse as sp
-
-            self._cheb_sparse = [
-                sp.csr_matrix(np.where(np.abs(cheb_stack[k]) > sparsity_eps,
-                                       cheb_stack[k], 0.0))
-                for k in range(self.order)
-            ]
-        else:
-            # Constant (non-trainable) dense polynomial stack.
-            self._cheb = [Tensor(cheb_stack[k]) for k in range(self.order)]
         self.weight = Parameter(
             init.xavier_uniform((self.order * in_channels, out_channels), rng)
         )
@@ -83,16 +70,9 @@ class ChebConv(Module):
             raise ValueError(
                 f"expected {self.num_nodes} nodes on axis -2, got shape {x.shape}"
             )
-        # T_k(L) x for each order, concatenated on the feature axis, then a
-        # single fused weight multiplication.
-        if self.sparse:
-            from ..autodiff.sparse import sparse_matmul
-
-            propagated = concat(
-                [sparse_matmul(t_k, x) for t_k in self._cheb_sparse], axis=-1
-            )
-        else:
-            propagated = concat([t_k.matmul(x) for t_k in self._cheb], axis=-1)
+        # All K hops in one op — the (..., N, K*C) result matches the
+        # concat-of-matmuls layout, so the (K*C, out) weight is unchanged.
+        propagated = cheb_propagate(x, self._basis)
         out = propagated.matmul(self.weight)
         if self.bias is not None:
             out = out + self.bias
@@ -123,7 +103,7 @@ class GraphConv(Module):
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng()
-        propagation = np.asarray(propagation, dtype=np.float64)
+        propagation = np.asarray(propagation, dtype=default_dtype())
         if propagation.ndim != 2 or propagation.shape[0] != propagation.shape[1]:
             raise ValueError(f"propagation must be square, got {propagation.shape}")
         self.in_channels = in_channels
@@ -177,7 +157,7 @@ class AdaptiveGraphConv(Module):
         self.bias = Parameter(init.zeros(out_channels))
         self._fixed = None
         if fixed_support is not None:
-            support = np.asarray(fixed_support, dtype=np.float64)
+            support = np.asarray(fixed_support, dtype=default_dtype())
             row_sum = support.sum(axis=1, keepdims=True)
             row_sum[row_sum == 0] = 1.0
             self._fixed = Tensor(support / row_sum)

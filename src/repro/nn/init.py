@@ -11,6 +11,8 @@ import math
 
 import numpy as np
 
+from ..autodiff import default_dtype
+
 __all__ = [
     "uniform",
     "normal",
@@ -26,22 +28,22 @@ __all__ = [
 
 def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
     """Uniform initialization in ``[low, high)``."""
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(default_dtype(), copy=False)
 
 
 def normal(shape, rng: np.random.Generator, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
     """Gaussian initialization."""
-    return rng.normal(mean, std, size=shape)
+    return rng.normal(mean, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def zeros(shape) -> np.ndarray:
     """All-zeros initialization (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def ones(shape) -> np.ndarray:
     """All-ones initialization (gates that should start open)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=default_dtype())
 
 
 def _fans(shape) -> tuple[int, int]:
@@ -60,27 +62,27 @@ def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.nda
     """Glorot uniform: keeps forward/backward variance balanced."""
     fan_in, fan_out = _fans(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot normal variant."""
     fan_in, fan_out = _fans(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """He uniform, suited to relu activations."""
     fan_in, _fan_out = _fans(shape)
     bound = math.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(default_dtype(), copy=False)
 
 
 def kaiming_normal(shape, rng: np.random.Generator) -> np.ndarray:
     """He normal, suited to relu activations."""
     fan_in, _fan_out = _fans(shape)
-    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape).astype(default_dtype(), copy=False)
 
 
 def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
@@ -96,4 +98,4 @@ def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray
     q, r = np.linalg.qr(flat)
     q *= np.sign(np.diag(r))  # make the decomposition unique
     q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
-    return gain * q
+    return (gain * q).astype(default_dtype(), copy=False)

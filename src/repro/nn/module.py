@@ -9,19 +9,29 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Iterator
+import warnings
 
 import numpy as np
 
-from ..autodiff import Tensor
+from ..autodiff import Tensor, default_dtype
 
 __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A Tensor registered as a trainable parameter of a Module."""
+    """A Tensor registered as a trainable parameter of a Module.
+
+    Parameters are always stored in the policy dtype
+    (:func:`repro.autodiff.default_dtype`) — the guarantee that makes
+    "no silent float64 upcasts in the training loop" auditable at one
+    place instead of every initializer call site.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        want = default_dtype()
+        if self.data.dtype.kind == "f" and self.data.dtype != want:
+            self.data = self.data.astype(want)
 
     def __repr__(self) -> str:
         return f"Parameter(shape={self.shape})"
@@ -114,8 +124,12 @@ class Module:
         """Load parameter values saved by :meth:`state_dict`.
 
         Raises ``KeyError`` on missing entries and ``ValueError`` on shape
-        mismatch so silent weight corruption cannot happen.
+        mismatch so silent weight corruption cannot happen. Values whose
+        float dtype differs from the parameter's (e.g. a float64
+        checkpoint loaded under the float32 policy) are cast, with a
+        single warning naming the conversion.
         """
+        cast_from: set[str] = set()
         for name, param in self.named_parameters():
             if name not in state:
                 raise KeyError(f"state_dict is missing parameter {name!r}")
@@ -125,7 +139,18 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"expected {param.shape}, got {value.shape}"
                 )
+            if value.dtype.kind == "f" and value.dtype != param.data.dtype:
+                cast_from.add(f"{value.dtype}->{param.data.dtype}")
             param.data = value.astype(param.data.dtype).copy()
+        if cast_from:
+            warnings.warn(
+                "load_state_dict cast parameter dtypes "
+                f"({', '.join(sorted(cast_from))}); the checkpoint was "
+                "saved under a different dtype policy — re-save it to "
+                "silence this",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # Call protocol

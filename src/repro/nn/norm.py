@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..autodiff import Tensor
+from . import init
 from .module import Module, Parameter
 
 __all__ = ["LayerNorm"]
@@ -23,8 +22,8 @@ class LayerNorm(Module):
             raise ValueError(f"normalized_size must be >= 1, got {normalized_size}")
         self.normalized_size = normalized_size
         self.eps = eps
-        self.gain = Parameter(np.ones(normalized_size))
-        self.bias = Parameter(np.zeros(normalized_size))
+        self.gain = Parameter(init.ones(normalized_size))
+        self.bias = Parameter(init.zeros(normalized_size))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.normalized_size:

@@ -28,7 +28,10 @@ def run_selfcheck(verbose: bool = True) -> dict:
     started = time.perf_counter()
     report: dict = {}
 
-    # 1. Autodiff gradients.
+    # 1. Autodiff gradients. Inputs are built as float64 on purpose:
+    # gradcheck refuses float32 inputs (finite differences need the
+    # precision) and forces the float64 dtype policy internally, so this
+    # stays exact even though training below runs under float32.
     rng = np.random.default_rng(0)
     a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
     b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)

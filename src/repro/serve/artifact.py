@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, fields
 
 import numpy as np
 
+from ..autodiff import default_dtype
 from ..datasets import ZScoreScaler
 from ..experiments.config import DataConfig, ModelConfig
 from ..experiments.registry import NEURAL_MODELS
@@ -184,6 +185,7 @@ def export_bundle(
         "input_length": int(model.input_length),
         "output_length": int(model.output_length),
         "scaler": {"per_node": bool(scaler.per_node)},
+        "dtype": str(np.dtype(default_dtype())),
         "graphs": graph_header,
         "num_parameters": len(state),
         "arrays_file": os.path.basename(npz_path),
@@ -288,8 +290,11 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
     model.eval()
 
     scaler = ZScoreScaler(per_node=header["scaler"]["per_node"])
-    scaler.mean_ = arrays["scaler/mean"]
-    scaler.std_ = arrays["scaler/std"]
+    # A bundle exported under another dtype policy serves under this one:
+    # load_state_dict already cast (and warned about) the weights, so the
+    # scaler statistics follow the same policy to keep inference uniform.
+    scaler.mean_ = arrays["scaler/mean"].astype(default_dtype(), copy=False)
+    scaler.std_ = arrays["scaler/std"].astype(default_dtype(), copy=False)
 
     return ModelBundle(
         model=model,

@@ -38,6 +38,7 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from ..autodiff import default_dtype
 from ..telemetry import (
     PROMETHEUS_CONTENT_TYPE,
     MetricRegistry,
@@ -145,15 +146,15 @@ class ServeApp:
             if features is None:
                 return 400, {"error": "per-sensor observation needs 'features'"}
             accepted = self.store.observe_sensor(
-                step, int(payload["node"]), np.asarray(features, dtype=np.float64)
+                step, int(payload["node"]), np.asarray(features, dtype=default_dtype())
             )
         elif "values" in payload:
-            values = np.asarray(payload["values"], dtype=np.float64)
+            values = np.asarray(payload["values"], dtype=default_dtype())
             if values.ndim == 1 and self.store.num_features == 1:
                 values = values[:, None]
             mask = payload.get("mask")
             if mask is not None:
-                mask = np.asarray(mask, dtype=np.float64)
+                mask = np.asarray(mask, dtype=default_dtype())
                 if mask.ndim == 1 and self.store.num_features == 1:
                     mask = mask[:, None]
             accepted = self.store.observe(step, values, mask)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..autodiff import default_dtype
 from ..models.grud import compute_deltas
 
 __all__ = ["StateStore", "StateWindow"]
@@ -88,8 +89,10 @@ class StateStore:
         self.input_length = input_length
         self.steps_per_day = steps_per_day
         # Ring storage: slot for absolute step t lives at row t % L.
-        self._values = np.zeros((input_length, num_nodes, num_features))
-        self._mask = np.zeros((input_length, num_nodes, num_features))
+        self._values = np.zeros((input_length, num_nodes, num_features),
+                                dtype=default_dtype())
+        self._mask = np.zeros((input_length, num_nodes, num_features),
+                              dtype=default_dtype())
         # Newest absolute step currently represented in the ring. Slots
         # (newest-L, newest] are live; anything older has been evicted.
         self._newest = start_step - 1
@@ -176,7 +179,7 @@ class StateStore:
         for the same step. Returns ``False`` (and counts the drop) when
         ``step`` has already left the retained window.
         """
-        values = np.asarray(values, dtype=np.float64)
+        values = np.asarray(values, dtype=default_dtype())
         if values.shape != (self.num_nodes, self.num_features):
             raise ValueError(
                 f"values must be {(self.num_nodes, self.num_features)}, "
@@ -185,7 +188,7 @@ class StateStore:
         if mask is None:
             mask = np.ones_like(values)
         else:
-            mask = np.asarray(mask, dtype=np.float64)
+            mask = np.asarray(mask, dtype=default_dtype())
             if mask.shape != values.shape:
                 raise ValueError(
                     f"mask shape {mask.shape} != values shape {values.shape}"
@@ -215,9 +218,10 @@ class StateStore:
         """Ingest one sensor's reading (the streaming per-sensor path)."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
-        values = np.zeros((self.num_nodes, self.num_features))
+        values = np.zeros((self.num_nodes, self.num_features),
+                          dtype=default_dtype())
         mask = np.zeros_like(values)
-        features = np.asarray(features, dtype=np.float64).reshape(-1)
+        features = np.asarray(features, dtype=default_dtype()).reshape(-1)
         if features.shape != (self.num_features,):
             raise ValueError(
                 f"expected {self.num_features} features, got {features.shape[0]}"
@@ -284,7 +288,7 @@ class StateStore:
         row at ``end_step`` (default: ``start + T - 1``). Used to warm a
         server from the tail of a recorded feed before going live.
         """
-        data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data, dtype=default_dtype())
         if data.ndim != 3 or data.shape[1:] != (self.num_nodes, self.num_features):
             raise ValueError(
                 f"history must be (T, {self.num_nodes}, {self.num_features}), "

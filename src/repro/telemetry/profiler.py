@@ -99,6 +99,7 @@ _METHOD_OPS: dict[str, str] = {
 #: module-level free functions in ``repro.autodiff.tensor``
 _FREE_FUNCTION_OPS: dict[str, str] = {
     "concat": "concat",
+    "split": "split",
     "stack": "stack",
     "where": "where",
     "maximum": "maximum",

@@ -7,6 +7,7 @@ from repro.autodiff import (
     Tensor,
     as_tensor,
     concat,
+    default_dtype,
     enable_grad,
     is_grad_enabled,
     maximum,
@@ -25,7 +26,7 @@ class TestConstruction:
 
     def test_integer_input_promoted_to_float(self):
         t = Tensor([1, 2, 3])
-        assert t.dtype == np.float64
+        assert t.dtype == default_dtype()
 
     def test_requires_grad_default_false(self):
         assert not Tensor([1.0]).requires_grad

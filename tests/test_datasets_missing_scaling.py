@@ -112,8 +112,11 @@ class TestZScoreScaler:
         data = rng.normal(50, 10, size=(2000, 4, 2))
         out = ZScoreScaler().fit_transform(data)
         flat = out.reshape(-1, 2)
-        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-9)
-        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-9)
+        # Stats are stored in the policy dtype (float32 by default),
+        # so the residual mean is at float32 epsilon, not float64's.
+        atol = 1e-9 if out.dtype == np.float64 else 1e-5
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=atol)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=atol)
 
     def test_masked_fit_ignores_missing(self):
         data = np.full((100, 2, 1), 7.0)
@@ -146,7 +149,8 @@ class TestZScoreScaler:
         rng = np.random.default_rng(n)
         data = rng.normal(size=(n + 2, 3, 2)) * 5 + 1
         scaler = ZScoreScaler().fit(data)
-        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(restored, data, atol=1e-4)
 
 
 class TestWindows:
