@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli --scale full table1-missing   # paper-closer scale
     python -m repro.cli export --model RIHGCN --output artifacts/rihgcn
     python -m repro.cli serve --bundle artifacts/rihgcn --port 8787 --trace-sample 0.1
+    python -m repro.cli chaos --bundle artifacts/rihgcn --error-rate 0.05
     python -m repro.cli traces http://127.0.0.1:8787 --limit 5
 
 Every subcommand prints the corresponding paper table/figure rows. The
@@ -109,6 +110,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-training", action="store_true",
                    help="export with freshly initialised weights (smoke tests)")
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--deadline-s", type=float, default=None,
+                       help="per-request time budget in seconds")
+        p.add_argument("--retry-attempts", type=int, default=None,
+                       help="model-forward attempts incl. the first (1 = off)")
+        p.add_argument("--no-breaker", action="store_true",
+                       help="disable the model-forward circuit breaker")
+        p.add_argument("--no-fallback", action="store_true",
+                       help="turn degraded answers into plain errors")
+        p.add_argument("--max-queue-depth", type=int, default=None,
+                       help="bound on queued forecasts (0 = unbounded)")
+
     p = sub.add_parser(
         "serve",
         help="serve forecasts from a bundle over HTTP (see docs/SERVING.md)",
@@ -125,6 +138,33 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="request-trace sampling rate in [0, 1] (0 = off)")
     p.add_argument("--trace-export", type=str, default=None,
                    help="append finished spans to this JSONL file")
+    add_resilience_flags(p)
+
+    p = sub.add_parser(
+        "chaos",
+        help="soak a bundle's serving path under seeded fault injection "
+             "(see docs/RELIABILITY.md)",
+    )
+    p.add_argument("--bundle", required=True, help="bundle base path from 'export'")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent closed-loop clients")
+    p.add_argument("--requests", type=int, default=50,
+                   help="observe+forecast rounds per client")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="fault-stream seed (same seed = same faults)")
+    p.add_argument("--latency-rate", type=float, default=0.1,
+                   help="share of model forwards hit by a latency spike")
+    p.add_argument("--latency-ms", type=float, default=50.0,
+                   help="injected latency per spike")
+    p.add_argument("--error-rate", type=float, default=0.05,
+                   help="share of model forwards that throw")
+    p.add_argument("--corrupt-rate", type=float, default=0.0,
+                   help="share of forwards with NaN-poisoned output")
+    p.add_argument("--drop-sensors", type=int, nargs="*", default=[],
+                   help="sensor ids whose readings vanish in flight")
+    p.add_argument("--availability-target", type=float, default=0.99,
+                   help="minimum non-5xx share; below this exits non-zero")
+    add_resilience_flags(p)
 
     p = sub.add_parser(
         "traces",
@@ -324,30 +364,57 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bundle written to {header_path} "
               f"(+ {os.path.basename(output)}.npz)")
     elif args.command == "serve":
-        from .serve import ServeApp, load_bundle, run_server
+        from .serve import ServeApp, ServeConfig, load_bundle, run_server
         from .telemetry import Tracer, set_tracer
 
+        config = ServeConfig.from_args(args)
         bundle = load_bundle(args.bundle)
         print(f"loaded {bundle.model_name} bundle: {bundle.num_nodes} nodes, "
               f"{bundle.num_features} features, window {bundle.input_length} "
               f"-> horizon {bundle.output_length}")
         tracer = Tracer(
-            sample_rate=args.trace_sample, export_path=args.trace_export
+            sample_rate=config.trace_sample, export_path=config.trace_export
         )
         set_tracer(tracer)  # callbacks and helpers share the server's tracer
-        if args.trace_sample > 0:
-            print(f"tracing {args.trace_sample:.0%} of requests"
-                  + (f", exporting to {args.trace_export}"
-                     if args.trace_export else ""))
-        store = bundle.make_store()
-        engine = bundle.make_engine(
-            store=store,
-            max_batch_size=args.max_batch_size,
-            max_wait_s=args.max_wait_ms / 1e3,
-            tracer=tracer,
+        if config.trace_sample > 0:
+            print(f"tracing {config.trace_sample:.0%} of requests"
+                  + (f", exporting to {config.trace_export}"
+                     if config.trace_export else ""))
+        app = ServeApp(bundle, tracer=tracer, config=config)
+        run_server(app)
+    elif args.command == "chaos":
+        from .reliability import FaultPlan
+        from .serve import ServeConfig, load_bundle, make_chaos_app, run_chaos_soak
+
+        config = ServeConfig.from_args(args)
+        bundle = load_bundle(args.bundle)
+        plan = FaultPlan(
+            seed=args.chaos_seed,
+            latency_rate=args.latency_rate,
+            latency_s=args.latency_ms / 1e3,
+            error_rate=args.error_rate,
+            corrupt_rate=args.corrupt_rate,
+            dropped_sensors=tuple(args.drop_sensors),
         )
-        app = ServeApp(bundle, store=store, engine=engine, tracer=tracer)
-        run_server(app, host=args.host, port=args.port)
+        print(f"chaos soak of {bundle.model_name}: {args.clients} clients x "
+              f"{args.requests} rounds, plan {plan.to_json_dict()}")
+        app, injector = make_chaos_app(bundle, plan, config=config)
+        report = run_chaos_soak(
+            app,
+            num_clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            injector=injector,
+        )
+        print(report.render())
+        passed = (
+            report.crashes == 0
+            and report.availability >= args.availability_target
+        )
+        print(f"verdict: {'PASS' if passed else 'FAIL'} "
+              f"(availability target {args.availability_target:.2%})")
+        if not passed:
+            return 1
     elif args.command == "traces":
         from .telemetry import format_trace
 

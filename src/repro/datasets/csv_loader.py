@@ -22,6 +22,7 @@ import os
 import networkx as nx
 import numpy as np
 
+from ..errors import DataError
 from .dataset import TrafficDataset
 from .network import RoadNetwork
 
@@ -47,7 +48,7 @@ def load_readings_csv(
         reader = csv.reader(handle)
         rows = [row for row in reader if row]
     if not rows:
-        raise ValueError(f"{path} contains no data rows")
+        raise DataError(f"{path} contains no data rows")
 
     start_col = 1 if has_timestamp_column else 0
     if has_header:
@@ -56,7 +57,7 @@ def load_readings_csv(
     else:
         names = [f"sensor_{i}" for i in range(len(rows[0]) - start_col)]
     if not rows:
-        raise ValueError(f"{path} has a header but no data rows")
+        raise DataError(f"{path} has a header but no data rows")
 
     n = len(names)
     total = len(rows)
@@ -65,7 +66,7 @@ def load_readings_csv(
     for t, row in enumerate(rows):
         cells = row[start_col:]
         if len(cells) != n:
-            raise ValueError(
+            raise DataError(
                 f"row {t} has {len(cells)} readings, expected {n}"
             )
         for i, cell in enumerate(cells):
@@ -96,7 +97,7 @@ def load_distances_csv(
         reader = csv.reader(handle)
         rows = [row for row in reader if row]
     if not rows:
-        raise ValueError(f"{path} contains no rows")
+        raise DataError(f"{path} contains no rows")
 
     header = [c.strip().lower() for c in rows[0]]
     if header[:3] == ["from", "to", "distance"] or header[:3] == ["from", "to", "cost"]:
@@ -113,7 +114,7 @@ def load_distances_csv(
         for row in edges:
             src, dst = row[0].strip(), row[1].strip()
             if src not in index or dst not in index:
-                raise ValueError(f"unknown sensor id in edge {row!r}")
+                raise DataError(f"unknown sensor id in edge {row!r}")
             d = float(row[2])
             i, j = index[src], index[dst]
             distances[i, j] = d
@@ -139,7 +140,7 @@ def load_distances_csv(
         matrix.append([float(c) for c in cells])
     distances = np.asarray(matrix)
     if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
-        raise ValueError(f"dense distance matrix must be square, got {distances.shape}")
+        raise DataError(f"dense distance matrix must be square, got {distances.shape}")
     return (distances + distances.T) / 2.0
 
 
@@ -160,7 +161,7 @@ def load_csv_dataset(
     data, mask, names = load_readings_csv(readings_path, **reader_kwargs)
     distances = load_distances_csv(distances_path, sensor_names=names)
     if distances.shape[0] != data.shape[1]:
-        raise ValueError(
+        raise DataError(
             f"distance matrix covers {distances.shape[0]} sensors, readings "
             f"have {data.shape[1]}"
         )

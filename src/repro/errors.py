@@ -1,0 +1,116 @@
+"""Unified exception hierarchy for the whole reproduction.
+
+One root — :class:`ReproError` — so operational code (the serving
+stack, the CLI, user scripts) can catch "anything this library raises"
+without enumerating modules, and so resilience policies can classify
+failures by type instead of by message.
+
+Migration contract: every concrete subclass also inherits the stdlib
+base it historically raised as (``ValueError``, ``KeyError``,
+``RuntimeError``, ``TimeoutError``), so existing ``except ValueError``
+callers keep working for one release. New code should catch the typed
+classes; the stdlib bases will be dropped from the hierarchy in a
+future release.
+
+Layers:
+
+* :class:`DataError` — malformed input data (CSV loaders, arrays);
+* :class:`CheckpointError` — ``load_state_dict`` problems, with
+  :class:`MissingParameterError` / :class:`ShapeMismatchError`;
+* :class:`BundleError` — serving-bundle format/registry problems;
+* :class:`ConfigError` — invalid configuration values;
+* :class:`ServeError` — anything that fails a serving request, with
+  the resilience-policy signals :class:`DeadlineExceeded`,
+  :class:`CircuitOpen` and :class:`Overloaded`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "CheckpointError",
+    "MissingParameterError",
+    "ShapeMismatchError",
+    "BundleError",
+    "BundleFormatError",
+    "BundleModelError",
+    "ConfigError",
+    "ServeError",
+    "StateError",
+    "DeadlineExceeded",
+    "CircuitOpen",
+    "Overloaded",
+    "InjectedFault",
+]
+
+
+class ReproError(Exception):
+    """Root of every exception this library raises on purpose."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data is malformed (bad CSV rows, shape/field mismatches)."""
+
+
+class CheckpointError(ReproError):
+    """A saved parameter state cannot be loaded into a model."""
+
+
+class MissingParameterError(CheckpointError, KeyError):
+    """The state dict lacks a parameter the model expects."""
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr-quote the message
+        return Exception.__str__(self)
+
+
+class ShapeMismatchError(CheckpointError, ValueError):
+    """A stored parameter's shape differs from the model's."""
+
+
+class BundleError(ReproError):
+    """A serving bundle (.npz + .json header) is unusable."""
+
+
+class BundleFormatError(BundleError, ValueError):
+    """The bundle header/archive violates the format contract."""
+
+
+class BundleModelError(BundleError, KeyError):
+    """The bundle names a model outside the neural registry."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value fails validation."""
+
+
+class ServeError(ReproError):
+    """A serving request could not be answered normally.
+
+    The HTTP layer maps uncaught ``ServeError`` (that is not also a
+    ``ValueError``-family input error) to ``503`` with a ``Retry-After``
+    hint.
+    """
+
+
+class StateError(ServeError, ValueError):
+    """A streaming-state operation received invalid input."""
+
+
+class DeadlineExceeded(ServeError, TimeoutError):
+    """The request's time budget ran out before an answer was ready."""
+
+
+class CircuitOpen(ServeError, RuntimeError):
+    """A circuit breaker is rejecting calls to a failing dependency."""
+
+
+class Overloaded(ServeError, RuntimeError):
+    """Load was shed: a bounded queue is full; retry with backoff."""
+
+
+class InjectedFault(ServeError, RuntimeError):
+    """A fault deliberately raised by :mod:`repro.reliability.chaos`."""

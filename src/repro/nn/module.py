@@ -14,6 +14,7 @@ import warnings
 import numpy as np
 
 from ..autodiff import Tensor, default_dtype
+from ..errors import MissingParameterError, ShapeMismatchError
 
 __all__ = ["Parameter", "Module"]
 
@@ -123,8 +124,10 @@ class Module:
     def load_state_dict(self, state: dict) -> None:
         """Load parameter values saved by :meth:`state_dict`.
 
-        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
-        mismatch so silent weight corruption cannot happen. Values whose
+        Raises :class:`~repro.errors.MissingParameterError` on missing
+        entries and :class:`~repro.errors.ShapeMismatchError` on shape
+        mismatch (``KeyError``/``ValueError`` compatible for one
+        release) so silent weight corruption cannot happen. Values whose
         float dtype differs from the parameter's (e.g. a float64
         checkpoint loaded under the float32 policy) are cast, with a
         single warning naming the conversion.
@@ -132,10 +135,12 @@ class Module:
         cast_from: set[str] = set()
         for name, param in self.named_parameters():
             if name not in state:
-                raise KeyError(f"state_dict is missing parameter {name!r}")
+                raise MissingParameterError(
+                    f"state_dict is missing parameter {name!r}"
+                )
             value = np.asarray(state[name])
             if value.shape != param.shape:
-                raise ValueError(
+                raise ShapeMismatchError(
                     f"shape mismatch for {name!r}: "
                     f"expected {param.shape}, got {value.shape}"
                 )

@@ -1,0 +1,206 @@
+"""Circuit breaker: stop calling a dependency that keeps failing.
+
+Classic three-state machine over a sliding outcome window:
+
+* **closed** — calls flow; outcomes land in a bounded window. Once the
+  window holds ``min_calls`` outcomes and the failure share reaches
+  ``failure_ratio``, the breaker opens.
+* **open** — calls are rejected (:class:`~repro.errors.CircuitOpen`)
+  for ``open_s`` seconds, giving the dependency room to recover without
+  a thundering herd.
+* **half-open** — after the cool-off, up to ``half_open_calls`` probe
+  calls are admitted. ``half_open_successes`` consecutive successes
+  close the breaker; any probe failure re-opens it.
+
+Telemetry: a ``reliability/breaker_state`` gauge (0 closed, 1 half-open,
+2 open) plus transition/rejection counters land in the metric registry,
+so ``/metrics`` and ``/healthz`` can report breaker health.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator, TypeVar
+
+from ..errors import CircuitOpen
+from ..telemetry import MetricRegistry, get_registry
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker over a failure window."""
+
+    def __init__(
+        self,
+        window: int = 32,
+        failure_ratio: float = 0.5,
+        min_calls: int = 8,
+        open_s: float = 5.0,
+        half_open_calls: int = 2,
+        half_open_successes: int = 2,
+        name: str = "model",
+        registry: MetricRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < failure_ratio <= 1.0:
+            raise ValueError(f"failure_ratio must be in (0, 1], got {failure_ratio}")
+        if min_calls < 1 or min_calls > window:
+            raise ValueError(
+                f"min_calls must be in 1..window ({window}), got {min_calls}"
+            )
+        if open_s <= 0:
+            raise ValueError(f"open_s must be > 0, got {open_s}")
+        if half_open_calls < 1 or half_open_successes < 1:
+            raise ValueError("half_open_calls and half_open_successes must be >= 1")
+        self.window = window
+        self.failure_ratio = failure_ratio
+        self.min_calls = min_calls
+        self.open_s = open_s
+        self.half_open_calls = half_open_calls
+        self.half_open_successes = half_open_successes
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probe_successes = 0
+        self._publish_state()
+
+    # ------------------------------------------------------------------
+    def _publish_state(self) -> None:
+        self.registry.gauge(f"reliability/breaker_state{{name=\"{self.name}\"}}").set(
+            _STATE_GAUGE[self._state]
+        )
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.registry.counter(
+            f"reliability/breaker_transitions{{name=\"{self.name}\",to=\"{state}\"}}"
+        ).inc()
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._outcomes.clear()
+        if state in (HALF_OPEN, CLOSED):
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        self._publish_state()
+
+    def _maybe_half_open(self) -> None:
+        """open → half-open once the cool-off has elapsed (lock held)."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.open_s:
+            self._transition(HALF_OPEN)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed open cool-off."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Counts a rejection when not.)
+
+        In half-open state this also claims one probe slot, so callers
+        must follow an allowed call with ``record_success`` or
+        ``record_failure``.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes_inflight < self.half_open_calls:
+                self._probes_inflight += 1
+                return True
+            self.registry.counter(
+                f"reliability/breaker_rejections{{name=\"{self.name}\"}}"
+            ).inc()
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self._transition(CLOSED)
+                return
+            if self._state == CLOSED:
+                self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            if self._state == CLOSED:
+                self._outcomes.append(True)
+                if (
+                    len(self._outcomes) >= self.min_calls
+                    and sum(self._outcomes) / len(self._outcomes)
+                    >= self.failure_ratio
+                ):
+                    self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def protect(self, what: str = "call") -> Iterator[None]:
+        """Guard a code region: raises :class:`CircuitOpen` when tripped."""
+        if not self.allow():
+            raise CircuitOpen(
+                f"circuit {self.name!r} is {self._state}; rejecting {what}"
+            )
+        try:
+            yield
+        except BaseException:
+            self.record_failure()
+            raise
+        else:
+            self.record_success()
+
+    def call(self, fn: Callable[..., T], *args, **kwargs) -> T:
+        with self.protect(what=getattr(fn, "__name__", "call")):
+            return fn(*args, **kwargs)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``/healthz``."""
+        with self._lock:
+            self._maybe_half_open()
+            outcomes = list(self._outcomes)
+            return {
+                "name": self.name,
+                "state": self._state,
+                "window": len(outcomes),
+                "failure_rate": (
+                    sum(outcomes) / len(outcomes) if outcomes else 0.0
+                ),
+                "open_remaining_s": (
+                    max(0.0, self.open_s - (self._clock() - self._opened_at))
+                    if self._state == OPEN
+                    else 0.0
+                ),
+            }

@@ -1,0 +1,155 @@
+"""Fallback ladders and hedged calls.
+
+:class:`Fallback` expresses "try these answers in order of preference"
+as data instead of nested try/except: each rung is named, and the
+result says which rung answered — the serving layer uses the name to
+tag degraded responses (``X-Degraded`` header / ``degraded`` field).
+
+:class:`Hedge` bounds tail latency: start the primary call, and if it
+has not answered within ``delay_s``, launch the backup concurrently and
+take whichever finishes first. The classic use is hedging a slow model
+forward with a cheap estimator.
+
+:func:`window_mean_forecast` is the serving stack's rung of last
+resort: a HistoricalAverage-style constant forecast computed purely
+from the live :class:`~repro.serve.state.StateWindow` contents, so it
+works even when the model (and its weights) are unusable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["Fallback", "FallbackResult", "Hedge", "window_mean_forecast"]
+
+T = TypeVar("T")
+
+
+class FallbackResult:
+    """The answer plus the name of the rung that produced it."""
+
+    __slots__ = ("value", "rung", "errors")
+
+    def __init__(self, value, rung: str, errors: list[BaseException]):
+        self.value = value
+        self.rung = rung
+        self.errors = errors
+
+    @property
+    def degraded(self) -> bool:
+        """True when any rung above the answering one failed."""
+        return bool(self.errors)
+
+
+class Fallback:
+    """An ordered ladder of ``(name, callable)`` rungs.
+
+    ``call()`` walks the rungs top-down; a rung failing with one of
+    ``catch`` moves to the next. The last rung's error propagates —
+    there is nothing left to degrade to.
+    """
+
+    def __init__(
+        self,
+        rungs: Sequence[tuple[str, Callable[..., T]]],
+        catch: tuple[type[BaseException], ...] = (Exception,),
+    ):
+        if not rungs:
+            raise ValueError("fallback ladder needs at least one rung")
+        names = [name for name, _fn in rungs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"fallback rung names must be unique, got {names}")
+        self.rungs = list(rungs)
+        self.catch = tuple(catch)
+
+    def call(self, *args, **kwargs) -> FallbackResult:
+        errors: list[BaseException] = []
+        for index, (name, fn) in enumerate(self.rungs):
+            try:
+                return FallbackResult(fn(*args, **kwargs), name, errors)
+            except self.catch as error:
+                if index == len(self.rungs) - 1:
+                    raise
+                errors.append(error)
+        raise AssertionError("unreachable: loop returns or raises")
+
+
+class Hedge:
+    """First-success-wins hedging of a slow primary with a backup."""
+
+    def __init__(self, delay_s: float = 0.05):
+        if delay_s < 0:
+            raise ValueError(f"hedge delay must be >= 0, got {delay_s}")
+        self.delay_s = delay_s
+
+    def call(
+        self,
+        primary: Callable[[], T],
+        backup: Callable[[], T] | None = None,
+    ) -> tuple[T, str]:
+        """Run ``primary``, hedging with ``backup`` (default: primary again).
+
+        The hedge launches when the primary has neither answered nor
+        failed within ``delay_s`` (a fast primary failure launches it
+        immediately). Returns ``(result, which)`` with ``which`` in
+        ``{"primary", "hedge"}``; if both fail, the primary's error
+        propagates.
+        """
+        import queue as _queue
+
+        backup = backup if backup is not None else primary
+        outcomes: "_queue.Queue[tuple[str, bool, object]]" = _queue.Queue()
+
+        def run(which: str, fn: Callable[[], T]) -> None:
+            try:
+                outcomes.put((which, True, fn()))
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                outcomes.put((which, False, error))
+
+        threading.Thread(target=run, args=("primary", primary), daemon=True).start()
+        errors: dict[str, BaseException] = {}
+        try:
+            which, ok, payload = outcomes.get(timeout=self.delay_s)
+            if ok:
+                return payload, which  # primary answered before the hedge fired
+            errors[which] = payload
+        except _queue.Empty:
+            pass  # primary still running: hedge rides alongside it
+        threading.Thread(target=run, args=("hedge", backup), daemon=True).start()
+
+        outstanding = 2 - len(errors)
+        while outstanding:
+            which, ok, payload = outcomes.get()
+            if ok:
+                return payload, which
+            errors[which] = payload
+            outstanding -= 1
+        raise errors.get("primary", next(iter(errors.values())))
+
+
+def window_mean_forecast(window, horizon: int) -> np.ndarray:
+    """Constant forecast from live state only (the ladder's last rung).
+
+    Per ``(node, feature)``: the mean of that entry's *observed* values
+    across the window (the paper's HistoricalAverage, computed on the
+    ring buffer instead of training data); entries with zero
+    observations fall back to the network-wide observed mean. A window
+    with no observations at all cannot be forecast from — the caller
+    maps that to 503.
+    """
+    x = np.asarray(window.x, dtype=np.float64)
+    m = np.asarray(window.m, dtype=np.float64)
+    observed = m.sum(axis=0)  # (N, D)
+    if not observed.any():
+        from ..errors import ServeError
+
+        raise ServeError(
+            "state window holds no observations; nothing to fall back on"
+        )
+    entry_mean = (x * m).sum(axis=0) / np.maximum(observed, 1.0)
+    global_mean = (x * m).sum() / m.sum()
+    mean = np.where(observed > 0, entry_mean, global_mean)  # (N, D)
+    return np.repeat(mean[None], horizon, axis=0)

@@ -1,0 +1,173 @@
+"""Retries with decorrelated-jitter backoff and a shared retry budget.
+
+Two pieces:
+
+* :class:`RetryBudget` — a token bucket shared across call sites. Every
+  *retry* (not first attempt) spends a token; the bucket refills at a
+  steady rate. Under a real outage this caps the retry amplification a
+  fleet of callers can generate against an already-failing dependency,
+  which is the classic retry-storm failure mode.
+* :class:`Retry` — per-call policy: attempt count, decorrelated-jitter
+  exponential backoff (AWS architecture-blog variant: each delay is
+  uniform in ``[base, prev * 3]``, capped), and an error-class predicate
+  deciding which failures are worth retrying at all.
+
+Both are deterministic under an injected RNG/clock/sleep, so tests can
+assert exact backoff sequences.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, TypeVar
+
+from ..errors import DeadlineExceeded
+from .deadline import Deadline
+
+__all__ = ["Retry", "RetryBudget"]
+
+T = TypeVar("T")
+
+
+class RetryBudget:
+    """Token bucket limiting how many retries may fire per unit time."""
+
+    def __init__(
+        self,
+        rate_per_s: float = 5.0,
+        burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError(
+                f"retry budget needs positive rate/burst, got {rate_per_s}/{burst}"
+            )
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+        self._lock = threading.Lock()
+        self.spent = 0
+        self.denied = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+        )
+        self._stamp = now
+
+    def try_spend(self) -> bool:
+        """Take one retry token; ``False`` means the budget is exhausted."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.spent += 1
+                return True
+            self.denied += 1
+            return False
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class Retry:
+    """Bounded retries around a callable.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first call (1 disables retrying).
+    base_delay_s / max_delay_s:
+        Decorrelated-jitter backoff bounds: the ``k``-th delay is drawn
+        uniformly from ``[base, prev_delay * 3]`` and capped at
+        ``max_delay_s``.
+    retry_on:
+        Exception classes considered transient. Anything else propagates
+        immediately.
+    predicate:
+        Optional refinement over a caught (retryable-class) error;
+        return ``False`` to stop retrying it.
+    budget:
+        Optional shared :class:`RetryBudget`; when it denies a token the
+        error propagates without further attempts.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 0.5,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        predicate: Callable[[BaseException], bool] | None = None,
+        budget: RetryBudget | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_s < 0 or max_delay_s < base_delay_s:
+            raise ValueError(
+                f"need 0 <= base_delay_s <= max_delay_s, "
+                f"got {base_delay_s}/{max_delay_s}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.retry_on = tuple(retry_on)
+        self.predicate = predicate
+        self.budget = budget
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def next_delay(self, previous: float | None) -> float:
+        """One decorrelated-jitter step from the previous delay."""
+        prev = self.base_delay_s if previous is None else previous
+        with self._lock:  # the RNG is not thread-safe under mutation
+            value = self._rng.uniform(self.base_delay_s, max(prev * 3.0, self.base_delay_s))
+        return min(value, self.max_delay_s)
+
+    def _retryable(self, error: BaseException) -> bool:
+        if not isinstance(error, self.retry_on):
+            return False
+        # A blown deadline is never transient: the budget is gone.
+        if isinstance(error, DeadlineExceeded):
+            return False
+        if self.predicate is not None and not self.predicate(error):
+            return False
+        return True
+
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args,
+        deadline: Deadline | None = None,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+        **kwargs,
+    ) -> T:
+        """Invoke ``fn`` with retries; the last error propagates on failure."""
+        delay: float | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if attempt >= self.max_attempts or not self._retryable(error):
+                    raise
+                if self.budget is not None and not self.budget.try_spend():
+                    raise
+                delay = self.next_delay(delay)
+                if deadline is not None and deadline.remaining() <= delay:
+                    raise  # sleeping would blow the deadline anyway
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                if delay > 0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable: loop returns or raises")

@@ -16,9 +16,17 @@ See ``docs/SERVING.md`` for the full walk-through and
 
 from .artifact import FORMAT_VERSION, ModelBundle, export_bundle, load_bundle
 from .cache import LRUCache
+from .config import ServeConfig
 from .engine import Forecast, ForecastEngine
-from .http import PlainText, ServeApp, make_server, run_server
-from .loadgen import LoadReport, compare_batched_sequential, run_load
+from .http import PlainText, Response, ServeApp, make_server, run_server
+from .loadgen import (
+    LoadReport,
+    SoakReport,
+    compare_batched_sequential,
+    make_chaos_app,
+    run_chaos_soak,
+    run_load,
+)
 from .state import StateStore, StateWindow
 
 __all__ = [
@@ -27,15 +35,20 @@ __all__ = [
     "export_bundle",
     "load_bundle",
     "LRUCache",
+    "ServeConfig",
     "Forecast",
     "ForecastEngine",
     "PlainText",
+    "Response",
     "ServeApp",
     "make_server",
     "run_server",
     "LoadReport",
     "run_load",
     "compare_batched_sequential",
+    "SoakReport",
+    "make_chaos_app",
+    "run_chaos_soak",
     "StateStore",
     "StateWindow",
 ]

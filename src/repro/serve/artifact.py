@@ -22,6 +22,12 @@ import numpy as np
 
 from ..autodiff import default_dtype
 from ..datasets import ZScoreScaler
+from ..errors import (
+    BundleFormatError,
+    BundleModelError,
+    MissingParameterError,
+    ShapeMismatchError,
+)
 from ..experiments.config import DataConfig, ModelConfig
 from ..experiments.registry import NEURAL_MODELS
 from ..graphs import HeterogeneousGraphSet, TimelinePartition
@@ -99,7 +105,7 @@ class ModelBundle:
     def output_length(self) -> int:
         return self.model.output_length
 
-    def make_store(self, start_step: int = 0) -> StateStore:
+    def make_store(self, start_step: int = 0, registry=None) -> StateStore:
         """A state store dimensioned for this bundle's model."""
         return StateStore(
             num_nodes=self.num_nodes,
@@ -107,6 +113,7 @@ class ModelBundle:
             input_length=self.input_length,
             steps_per_day=self.data_config.steps_per_day,
             start_step=start_step,
+            registry=registry,
         )
 
     def make_engine(self, store: StateStore | None = None, **engine_kwargs) -> ForecastEngine:
@@ -133,16 +140,16 @@ def export_bundle(
     array archive lands next to it with a ``.npz`` suffix.
     """
     if model_name not in NEURAL_MODELS:
-        raise KeyError(
+        raise BundleModelError(
             f"unknown model {model_name!r}; bundles cover the neural "
             f"registry: {sorted(NEURAL_MODELS)}"
         )
     state = model.state_dict()
     if not state:
-        raise ValueError("model has no parameters to export")
+        raise BundleFormatError("model has no parameters to export")
     scaler: ZScoreScaler = ctx.scaler
     if scaler.mean_ is None or scaler.std_ is None:
-        raise ValueError("context scaler is not fitted")
+        raise BundleFormatError("context scaler is not fitted")
 
     arrays: dict[str, np.ndarray] = {
         _PARAM_PREFIX + name: value for name, value in state.items()
@@ -215,13 +222,13 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
 
     version = header.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise BundleFormatError(
             f"bundle {json_path!r} has format version {version!r}, "
             f"this build reads version {FORMAT_VERSION}"
         )
     model_name = header["model_name"]
     if model_name not in NEURAL_MODELS:
-        raise KeyError(
+        raise BundleModelError(
             f"bundle {json_path!r} names unknown model {model_name!r}"
         )
 
@@ -270,7 +277,7 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
     expected = list(model.named_parameters())
     missing = [name for name, _param in expected if name not in state]
     if missing:
-        raise KeyError(
+        raise MissingParameterError(
             f"bundle {npz_path!r} is missing parameter {missing[0]!r}"
             + (f" (and {len(missing) - 1} more)" if len(missing) > 1 else "")
         )
@@ -281,7 +288,7 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
     ]
     if mismatched:
         name, want, got = mismatched[0]
-        raise ValueError(
+        raise ShapeMismatchError(
             f"bundle {npz_path!r} has shape {got} for parameter {name!r}, "
             f"rebuilt model expects {want}"
             + (f" (and {len(mismatched) - 1} more mismatches)" if len(mismatched) > 1 else "")

@@ -1,0 +1,174 @@
+"""One validated configuration object for the whole serving stack.
+
+``ServeApp``'s tuning used to arrive as loose kwargs sprinkled over
+``ForecastEngine``, ``make_server``, ``run_server`` and the CLI
+``serve`` flags. :class:`ServeConfig` collapses all of it — batching,
+cache, tracing, quality thresholds and the resilience policy — into a
+single frozen dataclass with three constructors:
+
+* ``ServeConfig(...)`` — programmatic, validated in ``__post_init__``;
+* ``ServeConfig.from_env()`` — ``REPRO_SERVE_*`` environment variables
+  over the defaults (containers, CI);
+* ``ServeConfig.from_args(ns)`` — an ``argparse`` namespace from the
+  CLI ``serve``/``chaos`` subcommands.
+
+Old call styles (``make_server(app, host, port)``, engine kwargs passed
+straight to ``ServeApp``) keep working behind a single
+``DeprecationWarning``, mirroring the ``TrainerConfig.verbose``
+deprecation from the telemetry PR.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..reliability import ResiliencePolicy
+from ..telemetry import QualityThresholds
+
+__all__ = ["ServeConfig"]
+
+
+def _env_value(env, key: str, cast, default):
+    raw = env.get(key)
+    if raw is None:
+        return default
+    try:
+        if cast is bool:
+            return raw.strip().lower() in ("1", "true", "yes", "on")
+        return cast(raw)
+    except ValueError as error:
+        raise ConfigError(f"cannot parse {key}={raw!r}: {error}") from error
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a serving process needs besides the bundle itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the CLI defaults to 8787 via its flag
+    max_batch_size: int = 8
+    max_wait_s: float = 0.002
+    cache_size: int = 256
+    trace_sample: float = 0.0
+    trace_export: str | None = None
+    quality: QualityThresholds = field(default_factory=QualityThresholds)
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+
+    def __post_init__(self):
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in 0..65535, got {self.port}")
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ConfigError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.cache_size < 0:
+            raise ConfigError(f"cache_size must be >= 0, got {self.cache_size}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if not isinstance(self.quality, QualityThresholds):
+            raise ConfigError(
+                f"quality must be a QualityThresholds, got {type(self.quality).__name__}"
+            )
+        if not isinstance(self.resilience, ResiliencePolicy):
+            raise ConfigError(
+                f"resilience must be a ResiliencePolicy, "
+                f"got {type(self.resilience).__name__}"
+            )
+
+    def with_overrides(self, **changes) -> "ServeConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, env=None, prefix: str = "REPRO_SERVE_") -> "ServeConfig":
+        """Defaults overridden by ``REPRO_SERVE_*`` environment variables.
+
+        Recognised keys (suffix after the prefix): ``HOST``, ``PORT``,
+        ``MAX_BATCH_SIZE``, ``MAX_WAIT_MS``, ``CACHE_SIZE``,
+        ``TRACE_SAMPLE``, ``TRACE_EXPORT``, ``DEADLINE_S``,
+        ``RETRY_ATTEMPTS``, ``BREAKER`` (bool), ``BREAKER_OPEN_S``,
+        ``FALLBACK`` (bool), ``MAX_QUEUE_DEPTH``.
+        """
+        env = os.environ if env is None else env
+        base = cls()
+        deadline_raw = env.get(prefix + "DEADLINE_S")
+        resilience = base.resilience.with_overrides(
+            deadline_s=(
+                (float(deadline_raw) if deadline_raw.strip().lower() != "none" else None)
+                if deadline_raw is not None
+                else base.resilience.deadline_s
+            ),
+            retry_attempts=_env_value(
+                env, prefix + "RETRY_ATTEMPTS", int, base.resilience.retry_attempts
+            ),
+            breaker=_env_value(env, prefix + "BREAKER", bool, base.resilience.breaker),
+            breaker_open_s=_env_value(
+                env, prefix + "BREAKER_OPEN_S", float, base.resilience.breaker_open_s
+            ),
+            fallback=_env_value(
+                env, prefix + "FALLBACK", bool, base.resilience.fallback
+            ),
+            max_queue_depth=_env_value(
+                env, prefix + "MAX_QUEUE_DEPTH", int, base.resilience.max_queue_depth
+            ),
+        )
+        return cls(
+            host=env.get(prefix + "HOST", base.host),
+            port=_env_value(env, prefix + "PORT", int, base.port),
+            max_batch_size=_env_value(
+                env, prefix + "MAX_BATCH_SIZE", int, base.max_batch_size
+            ),
+            max_wait_s=_env_value(
+                env, prefix + "MAX_WAIT_MS", float, base.max_wait_s * 1e3
+            )
+            / 1e3,
+            cache_size=_env_value(env, prefix + "CACHE_SIZE", int, base.cache_size),
+            trace_sample=_env_value(
+                env, prefix + "TRACE_SAMPLE", float, base.trace_sample
+            ),
+            trace_export=env.get(prefix + "TRACE_EXPORT", base.trace_export),
+            resilience=resilience,
+        )
+
+    @classmethod
+    def from_args(cls, args) -> "ServeConfig":
+        """Build from an ``argparse`` namespace (CLI ``serve``/``chaos``).
+
+        Only attributes present on the namespace override the defaults,
+        so both subcommands can share this without carrying every flag.
+        """
+
+        def pick(name, default):
+            value = getattr(args, name, None)
+            return default if value is None else value
+
+        base = cls()
+        resilience = base.resilience.with_overrides(
+            deadline_s=pick("deadline_s", base.resilience.deadline_s),
+            retry_attempts=int(pick("retry_attempts", base.resilience.retry_attempts)),
+            breaker=not getattr(args, "no_breaker", False),
+            breaker_open_s=float(
+                pick("breaker_open_s", base.resilience.breaker_open_s)
+            ),
+            fallback=not getattr(args, "no_fallback", False),
+            max_queue_depth=int(
+                pick("max_queue_depth", base.resilience.max_queue_depth)
+            ),
+        )
+        return cls(
+            host=pick("host", base.host),
+            port=int(pick("port", base.port)),
+            max_batch_size=int(pick("max_batch_size", base.max_batch_size)),
+            max_wait_s=float(pick("max_wait_ms", base.max_wait_s * 1e3)) / 1e3,
+            cache_size=int(pick("cache_size", base.cache_size)),
+            trace_sample=float(pick("trace_sample", base.trace_sample)),
+            trace_export=getattr(args, "trace_export", None),
+            resilience=resilience,
+        )

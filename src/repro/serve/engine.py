@@ -26,6 +26,14 @@ boundary: the request's span context is captured at enqueue time, a
 links to every request trace it serves — so a single trace tree shows
 HTTP → engine → queue → batch_forward → model_forward, and the batch
 span names its co-riders.
+
+Resilience (see ``docs/RELIABILITY.md``): every request carries a
+:class:`~repro.reliability.Deadline` checked at batch boundaries, the
+model forward sits behind a retry policy and a circuit breaker, the
+request queue is bounded (load shedding instead of unbounded latency),
+and failures walk a fallback ladder — last successful forecast served
+stale, then a window-mean forecast computed purely from live state —
+with the answering rung tagged in ``Forecast.degraded``.
 """
 
 from __future__ import annotations
@@ -34,13 +42,16 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..autodiff import inference_mode
 from ..datasets import ZScoreScaler
+from ..errors import CircuitOpen, DeadlineExceeded, Overloaded, ServeError
 from ..models.base import NeuralForecaster
+from ..reliability import Deadline, Fallback, ResiliencePolicy, window_mean_forecast
 from ..telemetry import MetricRegistry, Tracer, get_registry, get_tracer
 from .cache import LRUCache
 from .state import StateStore, StateWindow
@@ -57,6 +68,7 @@ class Forecast:
     version: int  # state version the forecast was computed at
     newest_step: int  # absolute step of the last observed slot
     cached: bool  # answered from the LRU without a model forward
+    degraded: str | None = None  # fallback rung that answered, None = fresh
 
     def to_json_dict(self) -> dict:
         return {
@@ -64,21 +76,24 @@ class Forecast:
             "version": self.version,
             "newest_step": self.newest_step,
             "cached": self.cached,
+            "degraded": self.degraded,
             "prediction": self.prediction.tolist(),
         }
 
 
 class _Request:
-    __slots__ = ("window", "horizon", "future", "submitted", "ctx", "queue_span")
+    __slots__ = ("window", "horizon", "future", "submitted", "ctx", "queue_span",
+                 "deadline")
 
     def __init__(self, window: StateWindow, horizon: int, submitted: float,
-                 ctx=None, queue_span=None):
+                 ctx=None, queue_span=None, deadline: Deadline | None = None):
         self.window = window
         self.horizon = horizon
         self.future: "Future[Forecast]" = Future()
         self.submitted = submitted
         self.ctx = ctx  # SpanContext of the requesting trace (or None)
         self.queue_span = queue_span  # open "queue" span, ended by the dispatcher
+        self.deadline = deadline  # per-request budget, checked at batch boundaries
 
 
 class ForecastEngine:
@@ -102,6 +117,11 @@ class ForecastEngine:
         for followers (the classic size-or-deadline queue).
     cache_size:
         LRU capacity over ``(version, horizon)`` keys; 0 disables.
+    policy:
+        The :class:`~repro.reliability.ResiliencePolicy` governing
+        deadlines, retries, the forward circuit breaker, the fallback
+        ladder and queue bounding. ``ResiliencePolicy.disabled()``
+        reproduces the pre-resilience engine bit for bit.
     """
 
     def __init__(
@@ -114,6 +134,7 @@ class ForecastEngine:
         cache_size: int = 256,
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
+        policy: ResiliencePolicy | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -130,9 +151,20 @@ class ForecastEngine:
         self.cache = LRUCache(cache_size) if cache_size > 0 else None
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
-        self._queue: "queue.Queue[_Request | None]" = queue.Queue()
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.breaker = self.policy.make_breaker("model", registry=self.registry)
+        self.retry = self.policy.make_retry()
+        # queue.Queue(maxsize=0) is unbounded, matching max_queue_depth=0.
+        self._queue: "queue.Queue[_Request | None]" = queue.Queue(
+            maxsize=self.policy.max_queue_depth
+        )
         self._worker: threading.Thread | None = None
         self._forward_lock = threading.Lock()
+        # Last successful full-horizon prediction, for the stale rung of
+        # the fallback ladder: (version, newest_step, prediction array).
+        # Written only under _forward_lock-free dispatcher code; reads
+        # are racy-but-atomic tuple loads.
+        self._last_good: tuple[int, int, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -164,14 +196,68 @@ class ForecastEngine:
         return self._worker is not None and self._worker.is_alive()
 
     # ------------------------------------------------------------------
+    # Resilience surface
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for batch formation (approximate)."""
+        return self._queue.qsize()
+
+    @property
+    def saturated(self) -> bool:
+        """True when the bounded request queue is at capacity.
+
+        The observation path consults this to reject-with-backoff while
+        the forecast path is drowning, instead of piling more state
+        churn onto a struggling server.
+        """
+        depth = self.policy.max_queue_depth
+        return depth > 0 and self._queue.qsize() >= depth
+
+    def reliability_snapshot(self) -> dict:
+        """JSON-ready resilience state for ``/healthz`` and operators."""
+
+        def count(name: str) -> int:
+            return int(self.registry.counter(name).value)
+
+        return {
+            "policy": {
+                "deadline_s": self.policy.deadline_s,
+                "retry_attempts": self.policy.retry_attempts,
+                "breaker": self.policy.breaker,
+                "fallback": self.policy.fallback,
+                "max_queue_depth": self.policy.max_queue_depth,
+            },
+            "breaker": self.breaker.snapshot() if self.breaker is not None else None,
+            "queue_depth": self.queue_depth,
+            "degraded_total": count("serve/degraded"),
+            "fallback": {
+                "stale": count('serve/fallback{rung="stale"}'),
+                "window_mean": count('serve/fallback{rung="window_mean"}'),
+            },
+            "shed_total": count("serve/shed"),
+            "deadline_expired_total": count("serve/deadline_expired"),
+            "unavailable_total": count("serve/unavailable"),
+        }
+
+    # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def forecast(self, horizon: int | None = None, timeout: float | None = 30.0) -> Forecast:
+    def forecast(
+        self,
+        horizon: int | None = None,
+        timeout: float | None = 30.0,
+        deadline: Deadline | None = None,
+    ) -> Forecast:
         """Answer one forecast request (thread-safe).
 
         With the dispatcher running the request is queued for micro-
         batching; otherwise it is computed inline. ``horizon`` defaults
-        to the model's full output length.
+        to the model's full output length. ``deadline`` bounds the whole
+        request (default: the policy's ``deadline_s`` budget); a fresh
+        forecast that fails or times out degrades down the fallback
+        ladder when the policy allows, with the answering rung recorded
+        in ``Forecast.degraded``.
         """
         horizon = self.model.output_length if horizon is None else int(horizon)
         if not 1 <= horizon <= self.model.output_length:
@@ -180,6 +266,8 @@ class ForecastEngine:
             )
         start = time.perf_counter()
         self.registry.counter("serve/requests").inc()
+        if deadline is None:
+            deadline = self.policy.make_deadline()
         with self.tracer.span(
             "engine.forecast", attributes={"horizon": horizon}
         ) as span:
@@ -192,20 +280,117 @@ class ForecastEngine:
                 self._observe_latency(start)
                 return cached
             span.set_attribute("cache_hit", False)
-            if self.running:
-                # The dispatcher thread closes the queue span when it
-                # picks the request up, measuring time spent waiting for
-                # batch formation.
-                queue_span = self.tracer.start_span("queue", parent=span.context)
-                request = _Request(window, horizon, start,
-                                   ctx=span.context, queue_span=queue_span)
-                self._queue.put(request)
-                result = request.future.result(timeout=timeout)
-            else:
-                request = _Request(window, horizon, start, ctx=span.context)
-                result = self._answer([request])[0]
+            try:
+                result = self._fresh(window, horizon, start, span, timeout, deadline)
+            except Overloaded:
+                raise  # shed load immediately; serving a fallback would hide it
+            except Exception as error:
+                if not self.policy.fallback:
+                    raise
+                result = self._degrade(window, horizon, error, span)
         self._observe_latency(start)
         return result
+
+    def _fresh(
+        self,
+        window: StateWindow,
+        horizon: int,
+        start: float,
+        span,
+        timeout: float | None,
+        deadline: Deadline | None,
+    ) -> Forecast:
+        """The fresh-forecast path: enqueue (or compute inline) and wait."""
+        if deadline is not None:
+            deadline.check("forecast admission")
+        if self.running:
+            # The dispatcher thread closes the queue span when it picks
+            # the request up, measuring time spent waiting for batch
+            # formation.
+            queue_span = self.tracer.start_span("queue", parent=span.context)
+            request = _Request(window, horizon, start, ctx=span.context,
+                               queue_span=queue_span, deadline=deadline)
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self.tracer.end_span(queue_span)
+                self.registry.counter("serve/shed").inc()
+                raise Overloaded(
+                    f"forecast queue full ({self.policy.max_queue_depth} pending)"
+                ) from None
+            wait = timeout if deadline is None else deadline.clamp(
+                timeout if timeout is not None else deadline.remaining()
+            )
+            try:
+                return request.future.result(timeout=wait)
+            except _FutureTimeout:
+                raise DeadlineExceeded(
+                    f"forecast not answered within {wait:.3f}s"
+                ) from None
+        request = _Request(window, horizon, start, ctx=span.context,
+                           deadline=deadline)
+        return self._answer([request])[0]
+
+    # ------------------------------------------------------------------
+    # Fallback ladder
+    # ------------------------------------------------------------------
+    def _stale_lookup(self, horizon: int) -> Forecast | None:
+        """The last successful forecast, re-served and tagged stale."""
+        last = self._last_good
+        if last is None:
+            return None
+        version, newest_step, full = last
+        return Forecast(
+            prediction=full[:horizon].copy(),
+            horizon=horizon,
+            version=version,
+            newest_step=newest_step,
+            cached=True,
+            degraded="stale",
+        )
+
+    def _degrade(
+        self, window: StateWindow, horizon: int, error: Exception, span
+    ) -> Forecast:
+        """Walk the fallback ladder after a fresh forecast failed.
+
+        Rungs: the last successful forecast served stale, then a window-
+        mean forecast computed from the live state snapshot. Degraded
+        results never enter the LRU cache (a recovered model must not be
+        shadowed by them). When every rung is dry the *original* failure
+        propagates, so callers see why the model path broke.
+        """
+
+        def stale() -> Forecast:
+            result = self._stale_lookup(horizon)
+            if result is None:
+                raise ServeError("no previous successful forecast to serve stale")
+            return result
+
+        def window_mean() -> Forecast:
+            return Forecast(
+                prediction=window_mean_forecast(window, horizon),
+                horizon=horizon,
+                version=window.version,
+                newest_step=window.newest_step,
+                cached=False,
+                degraded="window_mean",
+            )
+
+        ladder = Fallback(
+            [("stale", stale), ("window_mean", window_mean)], catch=(ServeError,)
+        )
+        try:
+            outcome = ladder.call()
+        except ServeError:
+            self.registry.counter("serve/unavailable").inc()
+            span.set_attribute("degraded", "unavailable")
+            raise error from None
+        self.registry.counter("serve/degraded").inc()
+        self.registry.counter(f'serve/fallback{{rung="{outcome.rung}"}}').inc()
+        span.set_attribute("degraded", outcome.rung)
+        span.set_attribute("degraded_cause", type(error).__name__)
+        return outcome.value
 
     def _observe_latency(self, start: float) -> None:
         self.registry.histogram("serve/latency_ms").observe(
@@ -253,13 +438,31 @@ class ForecastEngine:
             self._finish(batch)
 
     def _finish(self, batch: list[_Request]) -> None:
+        # Batch boundary: requests whose deadline expired while queueing
+        # are failed here instead of riding (and slowing) the forward.
+        live: list[_Request] = []
+        for request in batch:
+            if request.deadline is not None and request.deadline.expired:
+                if request.queue_span is not None:
+                    self.tracer.end_span(request.queue_span)
+                self.registry.counter("serve/deadline_expired").inc()
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        f"request spent its {request.deadline.budget_s:.3f}s "
+                        "budget waiting for batch formation"
+                    )
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
         try:
-            results = self._answer(batch)
+            results = self._answer(live)
         except Exception as error:  # propagate to every waiter
-            for request in batch:
+            for request in live:
                 request.future.set_exception(error)
             return
-        for request, result in zip(batch, results):
+        for request, result in zip(live, results):
             request.future.set_result(result)
 
     def _answer(self, batch: list[_Request]) -> list[Forecast]:
@@ -288,10 +491,19 @@ class ForecastEngine:
                     unique[request.window.version] = len(windows)
                     windows.append(request.window)
             bspan.set_attribute("unique_versions", len(windows))
-            predictions = self._predict(windows)  # (U, T_out, N, D_out)
+            predictions = self._guarded_predict(windows, batch)  # (U, T_out, N, D_out)
 
             self.registry.counter("serve/batches").inc()
             self.registry.histogram("serve/batch_size").observe(len(batch))
+
+            # Remember the freshest successful full-horizon prediction —
+            # it is the stale rung of the fallback ladder.
+            newest = max(windows, key=lambda w: w.version)
+            self._last_good = (
+                newest.version,
+                newest.newest_step,
+                predictions[unique[newest.version]].copy(),
+            )
 
             results = []
             for request in batch:
@@ -309,6 +521,42 @@ class ForecastEngine:
                     )
                 results.append(forecast)
         return results
+
+    def _guarded_predict(
+        self, windows: list[StateWindow], batch: list[_Request]
+    ) -> np.ndarray:
+        """The model forward behind the breaker and the retry policy.
+
+        One breaker outcome per *batch* — the fused forward either
+        serves everyone or no one, so batch members must not multiply
+        into the failure window.
+        """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpen(
+                f"model circuit is {breaker.state}; failing fast"
+            )
+        # Retries must not sleep past the tightest waiting deadline.
+        deadlines = [r.deadline for r in batch if r.deadline is not None]
+        tightest = (
+            min(deadlines, key=lambda d: d.remaining()) if deadlines else None
+        )
+        try:
+            if self.retry is not None:
+                predictions = self.retry.call(
+                    self._predict, windows, deadline=tightest
+                )
+            else:
+                predictions = self._predict(windows)
+            if not np.all(np.isfinite(predictions)):
+                raise ServeError("model produced non-finite predictions")
+        except BaseException:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return predictions
 
     def _predict(self, windows: list[StateWindow]) -> np.ndarray:
         """No-grad batched forward over window snapshots, original units."""

@@ -26,19 +26,32 @@ batch_forward → model_forward in one place.
 Threading model: each connection gets a handler thread (the stdlib
 mixin); handlers funnel forecasts through the engine's batching queue
 and observations through the store's lock.
+
+Resilience surface (see ``docs/RELIABILITY.md``): endpoints return
+:class:`Response` objects so degraded answers can carry ``X-Degraded``
+and ``Retry-After`` headers; resilience errors map onto HTTP —
+:class:`~repro.errors.Overloaded` → 429, any other
+:class:`~repro.errors.ServeError` (open breaker, blown deadline, dry
+fallback ladder) → 503, both with ``Retry-After``. Tuning arrives as
+one :class:`~repro.serve.config.ServeConfig`; the old loose kwargs keep
+working for a release behind a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
 from ..autodiff import default_dtype
+from ..errors import CircuitOpen, Overloaded, ServeError
+from ..reliability import OPEN
 from ..telemetry import (
     PROMETHEUS_CONTENT_TYPE,
     MetricRegistry,
@@ -49,10 +62,11 @@ from ..telemetry import (
     render_prometheus,
 )
 from .artifact import ModelBundle
+from .config import ServeConfig
 from .engine import ForecastEngine
 from .state import StateStore
 
-__all__ = ["PlainText", "ServeApp", "make_server", "run_server"]
+__all__ = ["PlainText", "Response", "ServeApp", "make_server", "run_server"]
 
 
 @dataclass(frozen=True)
@@ -63,8 +77,37 @@ class PlainText:
     content_type: str = "text/plain; charset=utf-8"
 
 
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response: status, body and response headers.
+
+    Replaces the old ``(status, payload)`` tuples so degraded and
+    rejected responses can set ``X-Degraded`` / ``Retry-After``.
+    Iterating yields ``(status, body)``, keeping ``status, payload =
+    app.handle(...)`` call sites working unchanged.
+    """
+
+    status: int
+    body: dict | PlainText
+    headers: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter((self.status, self.body))
+
+
+#: ServeApp kwargs that used to be loose engine tuning, now ServeConfig fields.
+_LEGACY_APP_KWARGS = ("max_batch_size", "max_wait_s", "cache_size", "trace_sample")
+
+
 class ServeApp:
-    """Routes requests onto a bundle's store and engine."""
+    """Routes requests onto a bundle's store and engine.
+
+    All tuning — batching, cache, tracing, quality thresholds and the
+    resilience policy — arrives as one :class:`ServeConfig`. The old
+    loose kwargs (``max_batch_size``, ``max_wait_s``, ``cache_size``,
+    ``trace_sample``) are folded into a config behind a single
+    ``DeprecationWarning`` for one release.
+    """
 
     def __init__(
         self,
@@ -74,16 +117,44 @@ class ServeApp:
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
         quality: QualityMonitor | None = None,
+        config: ServeConfig | None = None,
+        **legacy,
     ):
+        unknown = set(legacy) - set(_LEGACY_APP_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"ServeApp() got unexpected keyword arguments {sorted(unknown)}"
+            )
+        config = config if config is not None else ServeConfig()
+        if legacy:
+            warnings.warn(
+                f"ServeApp({', '.join(sorted(legacy))}=...) kwargs are "
+                "deprecated; pass a ServeConfig instead "
+                "(config=ServeConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config.with_overrides(**legacy)
+        self.config = config
         self.bundle = bundle
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
-        self.store = store if store is not None else bundle.make_store()
+        self.store = (
+            store
+            if store is not None
+            else bundle.make_store(registry=self.registry)
+        )
         self.engine = (
             engine
             if engine is not None
             else bundle.make_engine(
-                store=self.store, registry=self.registry, tracer=self.tracer
+                store=self.store,
+                registry=self.registry,
+                tracer=self.tracer,
+                max_batch_size=config.max_batch_size,
+                max_wait_s=config.max_wait_s,
+                cache_size=config.cache_size,
+                policy=config.resilience,
             )
         )
         if self.engine.store is not self.store:
@@ -97,21 +168,36 @@ class ServeApp:
                 num_nodes=self.store.num_nodes,
                 train_mean=bundle.scaler.mean_,
                 train_std=bundle.scaler.std_,
+                thresholds=config.quality,
                 registry=self.registry,
             )
         )
 
     # ------------------------------------------------------------------
-    # Endpoint bodies: return (status, payload) pairs.
+    # Endpoint bodies: return Response objects.
     # ------------------------------------------------------------------
     def _inspect_quality(self):
         """Refresh the quality monitor from the live window (pull-based)."""
         return self.quality.update(self.store.window(), store=self.store)
 
-    def healthz(self) -> tuple[int, dict]:
+    def _retry_after(self, error: BaseException | None = None) -> dict:
+        """``Retry-After`` header for rejected/unavailable responses."""
+        after = self.engine.policy.retry_after_s
+        if isinstance(error, CircuitOpen) and self.engine.breaker is not None:
+            after = max(after, self.engine.breaker.snapshot()["open_remaining_s"])
+        return {"Retry-After": str(max(1, math.ceil(after)))}
+
+    def healthz(self) -> Response:
         report = self._inspect_quality()
-        return 200, {
-            "status": "degraded" if report.degraded else "ok",
+        reliability = self.engine.reliability_snapshot()
+        requests = self.registry.counter("serve/requests").value
+        reliability["fallback_hit_rate"] = (
+            reliability["degraded_total"] / requests if requests else 0.0
+        )
+        breaker = reliability["breaker"]
+        breaker_open = breaker is not None and breaker["state"] == OPEN
+        return Response(200, {
+            "status": "degraded" if (report.degraded or breaker_open) else "ok",
             "model": self.bundle.model_name,
             "num_nodes": self.bundle.num_nodes,
             "num_features": self.bundle.num_features,
@@ -123,28 +209,42 @@ class ServeApp:
             "observations": self.store.observations,
             "quality": report.to_json_dict(),
             "sensors": self.store.sensor_summary(),
-        }
+            "reliability": reliability,
+        })
 
-    def metrics(self, as_json: bool = False) -> tuple[int, dict | PlainText]:
+    def metrics(self, as_json: bool = False) -> Response:
         self._inspect_quality()
+        self.engine.reliability_snapshot()  # refresh breaker/fallback metrics
         if as_json:
-            return 200, self.registry.snapshot()
-        return 200, PlainText(
+            return Response(200, self.registry.snapshot())
+        return Response(200, PlainText(
             body=render_prometheus(self.registry),
             content_type=PROMETHEUS_CONTENT_TYPE,
-        )
+        ))
 
-    def traces(self, limit: int | None = None) -> tuple[int, dict]:
-        return 200, {"traces": self.tracer.traces(limit=limit)}
+    def traces(self, limit: int | None = None) -> Response:
+        return Response(200, {"traces": self.tracer.traces(limit=limit)})
 
-    def observe(self, payload: dict) -> tuple[int, dict]:
+    def observe(self, payload: dict) -> Response:
+        if self.engine.saturated:
+            # Reject-with-backoff: while the forecast queue is drowning,
+            # state churn (each accepted observation invalidates the
+            # forecast cache) only deepens the hole.
+            self.registry.counter("serve/observe_rejected").inc()
+            return Response(
+                429,
+                {"error": "server saturated; back off and retry"},
+                self._retry_after(),
+            )
         if "step" not in payload:
-            return 400, {"error": "observation needs an integer 'step'"}
+            return Response(400, {"error": "observation needs an integer 'step'"})
         step = int(payload["step"])
         if "node" in payload:
             features = payload.get("features", payload.get("value"))
             if features is None:
-                return 400, {"error": "per-sensor observation needs 'features'"}
+                return Response(
+                    400, {"error": "per-sensor observation needs 'features'"}
+                )
             accepted = self.store.observe_sensor(
                 step, int(payload["node"]), np.asarray(features, dtype=default_dtype())
             )
@@ -159,16 +259,19 @@ class ServeApp:
                     mask = mask[:, None]
             accepted = self.store.observe(step, values, mask)
         else:
-            return 400, {"error": "observation needs 'values' or 'node'+'features'"}
-        return 200, {
+            return Response(
+                400, {"error": "observation needs 'values' or 'node'+'features'"}
+            )
+        return Response(200, {
             "accepted": accepted,
             "version": self.store.version,
             "newest_step": self.store.newest_step,
-        }
+        })
 
-    def forecast(self, horizon: int | None) -> tuple[int, dict]:
+    def forecast(self, horizon: int | None) -> Response:
         result = self.engine.forecast(horizon=horizon)
-        return 200, result.to_json_dict()
+        headers = {"X-Degraded": result.degraded} if result.degraded else {}
+        return Response(200, result.to_json_dict(), headers)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -185,18 +288,18 @@ class ServeApp:
         path: str,
         body: bytes | None,
         headers: dict | None = None,
-    ) -> tuple[int, dict | PlainText]:
+    ) -> Response:
         """Dispatch one request; exceptions become JSON error responses."""
         parsed = urlparse(path)
         route = parsed.path.rstrip("/") or "/"
         with self.tracer.span(
             "http", attributes={"method": method, "route": route}
         ) as span:
-            status, payload = self._route(method, route, parsed.query, body, headers)
-            span.set_attribute("status", status)
-            if status >= 400:
+            response = self._route(method, route, parsed.query, body, headers)
+            span.set_attribute("status", response.status)
+            if response.status >= 400:
                 span.status = "error"
-            return status, payload
+            return response
 
     def _route(
         self,
@@ -205,7 +308,7 @@ class ServeApp:
         query_string: str,
         body: bytes | None,
         headers: dict | None,
-    ) -> tuple[int, dict | PlainText]:
+    ) -> Response:
         query = parse_qs(query_string)
         try:
             if method == "GET" and route == "/healthz":
@@ -222,13 +325,30 @@ class ServeApp:
                 try:
                     payload = json.loads(body or b"")
                 except json.JSONDecodeError as error:
-                    return 400, {"error": f"invalid JSON body: {error}"}
+                    return Response(400, {"error": f"invalid JSON body: {error}"})
                 if not isinstance(payload, dict):
-                    return 400, {"error": "observation body must be a JSON object"}
+                    return Response(
+                        400, {"error": "observation body must be a JSON object"}
+                    )
                 return self.observe(payload)
-            return 404, {"error": f"no route {method} {route}"}
+            return Response(404, {"error": f"no route {method} {route}"})
+        except Overloaded as error:
+            # Shed load: tell the client to back off, not to degrade.
+            return Response(429, {"error": str(error)}, self._retry_after(error))
+        # Input errors stay 400 — StateError inherits ValueError, so bad
+        # client payloads land here even though it is also a ServeError.
         except (ValueError, KeyError, TypeError) as error:
-            return 400, {"error": str(error)}
+            return Response(400, {"error": str(error)})
+        except ServeError as error:
+            # Resilience signals that survived the fallback ladder: open
+            # breaker, blown deadline, dry ladder. The server is alive
+            # but cannot answer — 503 with a backoff hint.
+            self.registry.counter("serve/unavailable_responses").inc()
+            return Response(
+                503,
+                {"error": str(error), "cause": type(error).__name__},
+                self._retry_after(error),
+            )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -238,47 +358,70 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test/CI output clean; telemetry covers observability
 
-    def _respond(self, status: int, payload: dict | PlainText) -> None:
+    def _respond(self, response: Response) -> None:
+        payload = response.body
         if isinstance(payload, PlainText):
             body = payload.body.encode("utf-8")
             content_type = payload.content_type
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
-        self.send_response(status)
+        self.send_response(response.status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in response.headers.items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802
-        self._respond(*self.app.handle("GET", self.path, None, dict(self.headers)))
+        self._respond(self.app.handle("GET", self.path, None, dict(self.headers)))
 
     def do_POST(self) -> None:  # noqa: N802
         length = int(self.headers.get("Content-Length", 0))
         body = self.rfile.read(length) if length else b""
-        self._respond(*self.app.handle("POST", self.path, body, dict(self.headers)))
+        self._respond(self.app.handle("POST", self.path, body, dict(self.headers)))
+
+
+def _resolve_bind(
+    app: ServeApp, host: str | None, port: int | None
+) -> tuple[str, int]:
+    """Bind address from the app's config unless legacy args override it."""
+    if host is not None or port is not None:
+        warnings.warn(
+            "passing host/port to make_server/run_server is deprecated; "
+            "set them on ServeConfig instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    resolved_host = host if host is not None else app.config.host
+    resolved_port = port if port is not None else app.config.port
+    return resolved_host, resolved_port
 
 
 def make_server(
-    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+    app: ServeApp, host: str | None = None, port: int | None = None
 ) -> ThreadingHTTPServer:
-    """Bind a threading HTTP server for ``app`` (``port=0`` = ephemeral).
+    """Bind a threading HTTP server for ``app``.
 
-    The caller owns the lifecycle: ``serve_forever()`` to block,
-    ``shutdown()`` + ``server_close()`` to stop. The engine's batching
-    dispatcher is started here so concurrent handler threads fuse.
+    The bind address comes from ``app.config`` (``port=0`` = ephemeral);
+    explicit ``host``/``port`` arguments still win, with a
+    ``DeprecationWarning``. The caller owns the lifecycle:
+    ``serve_forever()`` to block, ``shutdown()`` + ``server_close()`` to
+    stop. The engine's batching dispatcher is started here so concurrent
+    handler threads fuse.
     """
+    bind_host, bind_port = _resolve_bind(app, host, port)
     handler = type("BoundHandler", (_Handler,), {"app": app})
-    server = ThreadingHTTPServer((host, port), handler)
+    server = ThreadingHTTPServer((bind_host, bind_port), handler)
     app.engine.start()
     return server
 
 
 def run_server(
     app: ServeApp,
-    host: str = "127.0.0.1",
-    port: int = 0,
+    host: str | None = None,
+    port: int | None = None,
     ready_event: threading.Event | None = None,
 ) -> None:
     """Blocking entry point used by ``repro serve``.

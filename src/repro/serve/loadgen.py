@@ -10,21 +10,38 @@ serving core: batching, no-grad forwards, cache, locks.
 :func:`compare_batched_sequential` runs the same workload twice, against
 a micro-batching engine and a ``max_batch_size=1`` baseline, which is
 the committed ``BENCH_serve_latency`` comparison.
+
+:func:`run_chaos_soak` is the availability harness: it wraps a bundle's
+model and store in the seeded fault injectors from
+:mod:`repro.reliability.chaos`, drives the full :class:`ServeApp`
+request path (status codes, headers and all, minus sockets) with
+concurrent clients, and reports availability, degradation tagging and
+crash counts — the numbers the chaos-smoke CI job gates on.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..reliability import ChaosModel, ChaosStore, FaultPlan
 from ..telemetry import MetricRegistry
 from .artifact import ModelBundle
+from .config import ServeConfig
 from .engine import ForecastEngine
 
-__all__ = ["LoadReport", "run_load", "compare_batched_sequential"]
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "compare_batched_sequential",
+    "SoakReport",
+    "make_chaos_app",
+    "run_chaos_soak",
+]
 
 
 @dataclass
@@ -175,3 +192,201 @@ def compare_batched_sequential(
         "batched": reports["batched"].to_json_dict(),
         "batched_over_sequential_throughput": float(ratio),
     }
+
+
+# ----------------------------------------------------------------------
+# Chaos soak
+# ----------------------------------------------------------------------
+@dataclass
+class SoakReport:
+    """Outcome of one chaos soak: availability, tagging, crash count."""
+
+    requests: int  # total requests issued (observe + forecast)
+    forecasts: int
+    ok: int  # 2xx responses
+    degraded: int  # 200s answered by a fallback rung
+    rejected: int  # 429s (load shedding / saturation)
+    client_errors: int  # other 4xx
+    server_errors: int  # 5xx
+    crashes: int  # exceptions escaping the request path
+    untagged_degraded: int  # degraded 200s missing header or body tag
+    availability: float  # non-5xx share of all responses
+    duration_s: float
+    fault_plan: dict = field(default_factory=dict)
+    injected: dict = field(default_factory=dict)
+    fallback: dict = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak: {self.requests} requests "
+            f"({self.forecasts} forecasts) in {self.duration_s:.2f}s",
+            f"  availability       {self.availability:.2%} "
+            f"({self.server_errors} server errors, {self.crashes} crashes)",
+            f"  degraded answers   {self.degraded} "
+            f"({self.untagged_degraded} missing tags)",
+            f"  rejected (backoff) {self.rejected}   "
+            f"client errors {self.client_errors}",
+            f"  injected faults    {json.dumps(self.injected, sort_keys=True)}",
+            f"  fallback rungs     {json.dumps(self.fallback, sort_keys=True)}",
+        ]
+        return "\n".join(lines)
+
+
+def make_chaos_app(
+    bundle: ModelBundle,
+    plan: FaultPlan,
+    config: ServeConfig | None = None,
+    registry: MetricRegistry | None = None,
+):
+    """A :class:`ServeApp` whose model and store misbehave per ``plan``.
+
+    Returns ``(app, injector)`` — the injector exposes the fault counts
+    for the soak report. The wrappers sit at the two seams the engine
+    trusts (model forward, observation path); everything else is the
+    production request path.
+    """
+    from .http import ServeApp  # here to avoid a module-import cycle
+
+    config = config if config is not None else ServeConfig()
+    registry = registry if registry is not None else MetricRegistry()
+    injector = plan.injector()
+    store = ChaosStore(bundle.make_store(registry=registry), injector)
+    engine = ForecastEngine(
+        model=ChaosModel(bundle.model, injector),
+        scaler=bundle.scaler,
+        store=store,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_s,
+        cache_size=config.cache_size,
+        registry=registry,
+        policy=config.resilience,
+    )
+    app = ServeApp(
+        bundle, store=store, engine=engine, registry=registry, config=config
+    )
+    return app, injector
+
+
+def run_chaos_soak(
+    app,
+    num_clients: int = 4,
+    requests_per_client: int = 50,
+    seed: int = 0,
+    value_scale: float = 60.0,
+    injector=None,
+) -> SoakReport:
+    """Soak ``app`` with concurrent clients while faults fire.
+
+    Each client alternates ``POST /observe`` (one sensor reading) with
+    ``GET /forecast`` through ``app.handle`` — the full routing, error
+    mapping and header path, minus sockets. Asserting on the report:
+    ``crashes`` must be 0 and ``availability`` at target; every degraded
+    200 must carry both the ``X-Degraded`` header and the body field
+    (``untagged_degraded`` counts violations).
+    """
+    store = app.store
+    counts = [
+        {
+            "requests": 0, "forecasts": 0, "ok": 0, "degraded": 0,
+            "rejected": 0, "client_errors": 0, "server_errors": 0,
+            "crashes": 0, "untagged_degraded": 0,
+        }
+        for _ in range(num_clients)
+    ]
+    next_step = [store.newest_step + 1]
+    step_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+
+    def tally(c: dict, response, is_forecast: bool) -> None:
+        c["requests"] += 1
+        status = response.status
+        if status >= 500:
+            c["server_errors"] += 1
+        elif status == 429:
+            c["rejected"] += 1
+        elif status >= 400:
+            c["client_errors"] += 1
+        else:
+            c["ok"] += 1
+            if is_forecast:
+                degraded = response.body.get("degraded")
+                if degraded:
+                    c["degraded"] += 1
+                    if response.headers.get("X-Degraded") != degraded:
+                        c["untagged_degraded"] += 1
+                elif response.headers.get("X-Degraded"):
+                    c["untagged_degraded"] += 1
+
+    def client(idx: int) -> None:
+        c = counts[idx]
+        rng = np.random.default_rng(seed + idx)
+        start_barrier.wait()
+        for _ in range(requests_per_client):
+            with step_lock:
+                step = next_step[0]
+                next_step[0] += 1
+            node = int(rng.integers(store.num_nodes))
+            features = rng.normal(value_scale, 5.0, size=store.num_features)
+            body = json.dumps(
+                {"step": step, "node": node, "features": features.tolist()}
+            ).encode()
+            try:
+                tally(c, app.handle("POST", "/observe", body), False)
+            except Exception:
+                c["requests"] += 1
+                c["crashes"] += 1
+            try:
+                tally(c, app.handle("GET", "/forecast", None), True)
+            except Exception:
+                c["requests"] += 1
+                c["crashes"] += 1
+            c["forecasts"] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(idx,), daemon=True)
+        for idx in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    app.engine.start()
+    start_barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - begin
+    app.engine.stop()
+
+    total = {key: sum(c[key] for c in counts) for key in counts[0]}
+    registry = app.registry
+
+    def count(name: str) -> int:
+        return int(registry.counter(name).value)
+
+    answered = total["requests"]
+    bad = total["server_errors"] + total["crashes"]
+    return SoakReport(
+        requests=answered,
+        forecasts=total["forecasts"],
+        ok=total["ok"],
+        degraded=total["degraded"],
+        rejected=total["rejected"],
+        client_errors=total["client_errors"],
+        server_errors=total["server_errors"],
+        crashes=total["crashes"],
+        untagged_degraded=total["untagged_degraded"],
+        availability=float(1.0 - bad / answered) if answered else 1.0,
+        duration_s=float(duration),
+        fault_plan=(
+            injector.plan.to_json_dict() if injector is not None else {}
+        ),
+        injected=injector.snapshot() if injector is not None else {},
+        fallback={
+            "stale": count('serve/fallback{rung="stale"}'),
+            "window_mean": count('serve/fallback{rung="window_mean"}'),
+            "unavailable": count("serve/unavailable"),
+            "shed": count("serve/shed"),
+        },
+    )

@@ -28,7 +28,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..autodiff import default_dtype
+from ..errors import StateError
 from ..models.grud import compute_deltas
+from ..telemetry import MetricRegistry, get_registry
 
 __all__ = ["StateStore", "StateWindow"]
 
@@ -70,6 +72,9 @@ class StateStore:
     start_step:
         Absolute step the feed starts at; slots before the first
         observation are missing (cold start).
+    registry:
+        Metric registry the ``serve/observe_duplicates`` counter lands
+        in (default: the process-wide registry).
     """
 
     def __init__(
@@ -79,11 +84,12 @@ class StateStore:
         input_length: int,
         steps_per_day: int = 288,
         start_step: int = 0,
+        registry: MetricRegistry | None = None,
     ):
         if input_length < 1:
-            raise ValueError(f"input_length must be >= 1, got {input_length}")
+            raise StateError(f"input_length must be >= 1, got {input_length}")
         if steps_per_day < 1:
-            raise ValueError(f"steps_per_day must be >= 1, got {steps_per_day}")
+            raise StateError(f"steps_per_day must be >= 1, got {steps_per_day}")
         self.num_nodes = num_nodes
         self.num_features = num_features
         self.input_length = input_length
@@ -101,6 +107,8 @@ class StateStore:
         self._observations = 0
         self._stale_dropped = 0
         self._cold_resets = 0
+        self._duplicates = 0
+        self._registry = registry if registry is not None else get_registry()
         # Per-sensor recency for the quality monitors: the absolute step
         # of each sensor's newest accepted reading (None until first).
         self._last_seen = np.full(num_nodes, start_step - 1, dtype=np.int64)
@@ -134,6 +142,11 @@ class StateStore:
     def cold_resets(self) -> int:
         """Times a feed gap wiped the whole ring (restart-sized outage)."""
         return self._cold_resets
+
+    @property
+    def duplicates(self) -> int:
+        """Exact (step, entries, values) re-deliveries absorbed idempotently."""
+        return self._duplicates
 
     @property
     def warm(self) -> bool:
@@ -178,10 +191,16 @@ class StateStore:
         left untouched, so partial readings merge with earlier arrivals
         for the same step. Returns ``False`` (and counts the drop) when
         ``step`` has already left the retained window.
+
+        Re-delivery of an observation whose entries are all already
+        recorded *with identical values* is idempotent: it is accepted
+        (``True``) but bumps neither the version nor the observation
+        count, and lands in the ``serve/observe_duplicates`` counter —
+        so at-least-once producers cannot thrash the forecast cache.
         """
         values = np.asarray(values, dtype=default_dtype())
         if values.shape != (self.num_nodes, self.num_features):
-            raise ValueError(
+            raise StateError(
                 f"values must be {(self.num_nodes, self.num_features)}, "
                 f"got {values.shape}"
             )
@@ -190,17 +209,26 @@ class StateStore:
         else:
             mask = np.asarray(mask, dtype=default_dtype())
             if mask.shape != values.shape:
-                raise ValueError(
+                raise StateError(
                     f"mask shape {mask.shape} != values shape {values.shape}"
                 )
         with self._lock:
             if step <= self._newest - self.input_length:
                 self._stale_dropped += 1
                 return False
-            if step > self._newest:
-                self._advance_to(step)
             row = step % self.input_length
             observed = mask > 0
+            if (
+                step <= self._newest
+                and observed.any()
+                and not (observed & (self._mask[row] == 0)).any()
+                and np.array_equal(self._values[row][observed], values[observed])
+            ):
+                self._duplicates += 1
+                self._registry.counter("serve/observe_duplicates").inc()
+                return True
+            if step > self._newest:
+                self._advance_to(step)
             self._values[row][observed] = values[observed]
             self._mask[row][observed] = 1.0
             nodes_observed = observed.any(axis=1)
@@ -217,13 +245,13 @@ class StateStore:
     ) -> bool:
         """Ingest one sensor's reading (the streaming per-sensor path)."""
         if not 0 <= node < self.num_nodes:
-            raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
+            raise StateError(f"node {node} out of range 0..{self.num_nodes - 1}")
         values = np.zeros((self.num_nodes, self.num_features),
                           dtype=default_dtype())
         mask = np.zeros_like(values)
         features = np.asarray(features, dtype=default_dtype()).reshape(-1)
         if features.shape != (self.num_features,):
-            raise ValueError(
+            raise StateError(
                 f"expected {self.num_features} features, got {features.shape[0]}"
             )
         values[node] = features
@@ -274,6 +302,7 @@ class StateStore:
                 "stale_dropped": self._stale_dropped,
                 "cold_resets": self._cold_resets,
                 "observations": self._observations,
+                "duplicates": self._duplicates,
             }
         summary["lag_steps"] = [int(v) for v in lag]
         return summary
@@ -290,7 +319,7 @@ class StateStore:
         """
         data = np.asarray(data, dtype=default_dtype())
         if data.ndim != 3 or data.shape[1:] != (self.num_nodes, self.num_features):
-            raise ValueError(
+            raise StateError(
                 f"history must be (T, {self.num_nodes}, {self.num_features}), "
                 f"got {data.shape}"
             )

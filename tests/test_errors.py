@@ -1,0 +1,105 @@
+"""Tests for the unified exception hierarchy (repro.errors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BundleFormatError,
+    BundleModelError,
+    CheckpointError,
+    CircuitOpen,
+    ConfigError,
+    DataError,
+    DeadlineExceeded,
+    InjectedFault,
+    MissingParameterError,
+    Overloaded,
+    ReproError,
+    ServeError,
+    ShapeMismatchError,
+    StateError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            DataError, CheckpointError, MissingParameterError,
+            ShapeMismatchError, BundleFormatError, BundleModelError,
+            ConfigError, ServeError, StateError, DeadlineExceeded,
+            CircuitOpen, Overloaded, InjectedFault,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_one_except_catches_the_world(self):
+        with pytest.raises(ReproError):
+            raise StateError("boom")
+
+    def test_old_bases_still_catch(self):
+        """Pre-hierarchy callers used stdlib classes; they keep working."""
+        with pytest.raises(ValueError):
+            raise DataError("bad csv")
+        with pytest.raises(ValueError):
+            raise StateError("bad shape")
+        with pytest.raises(KeyError):
+            raise MissingParameterError("missing 'w'")
+        with pytest.raises(ValueError):
+            raise ShapeMismatchError("shape off")
+        with pytest.raises(TimeoutError):
+            raise DeadlineExceeded("too slow")
+        with pytest.raises(RuntimeError):
+            raise CircuitOpen("open")
+        with pytest.raises(RuntimeError):
+            raise Overloaded("full")
+
+    def test_keyerror_subclasses_str_cleanly(self):
+        """KeyError.__str__ repr-quotes; ours must not garble messages."""
+        assert str(MissingParameterError("missing parameter 'w'")) == (
+            "missing parameter 'w'"
+        )
+        assert str(BundleModelError("unknown model 'X'")) == "unknown model 'X'"
+
+    def test_state_error_is_serve_error_and_value_error(self):
+        error = StateError("x")
+        assert isinstance(error, ServeError)
+        assert isinstance(error, ValueError)
+
+
+class TestMigratedRaises:
+    def test_module_load_state_dict_missing(self):
+        from repro.nn import Linear
+
+        layer = Linear(2, 3)
+        with pytest.raises(MissingParameterError):
+            layer.load_state_dict({})
+        with pytest.raises(KeyError):  # one-release compat
+            layer.load_state_dict({})
+
+    def test_module_load_state_dict_shape(self):
+        from repro.nn import Linear
+
+        layer = Linear(2, 3)
+        state = layer.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((9, 9))
+        with pytest.raises(ShapeMismatchError):
+            layer.load_state_dict(state)
+
+    def test_store_rejects_bad_shape_as_state_error(self):
+        from repro.serve import StateStore
+
+        store = StateStore(num_nodes=2, num_features=1, input_length=4)
+        with pytest.raises(StateError):
+            store.observe(0, np.zeros((3, 1)))
+        with pytest.raises(ValueError):  # one-release compat
+            store.observe(0, np.zeros((3, 1)))
+
+    def test_csv_loader_raises_data_error(self, tmp_path):
+        from repro.datasets.csv_loader import load_readings_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(DataError):
+            load_readings_csv(str(path))
+        with pytest.raises(ValueError):  # one-release compat
+            load_readings_csv(str(path))

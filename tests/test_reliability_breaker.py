@@ -1,0 +1,212 @@
+"""Tests for the circuit breaker state machine (repro.reliability.breaker).
+
+Includes hypothesis property tests driving the breaker with random
+success/failure/clock-advance sequences and asserting the state-machine
+invariants hold at every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CircuitOpen
+from repro.reliability import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.telemetry import MetricRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("window", 8)
+    kwargs.setdefault("failure_ratio", 0.5)
+    kwargs.setdefault("min_calls", 4)
+    kwargs.setdefault("open_s", 10.0)
+    kwargs.setdefault("half_open_calls", 2)
+    kwargs.setdefault("half_open_successes", 2)
+    kwargs.setdefault("registry", MetricRegistry())
+    return CircuitBreaker(clock=clock, **kwargs), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_failure_ratio(self):
+        breaker, _ = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_too_few_calls_never_trip(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):  # below min_calls
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_successes_dilute_failures(self):
+        breaker, _ = make_breaker()
+        for _ in range(5):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 2/7 < 0.5
+
+    def test_half_open_after_cooloff(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # probe slot
+
+    def test_probe_slots_are_bounded(self):
+        breaker, clock = make_breaker(half_open_calls=2)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow() and breaker.allow()
+        assert not breaker.allow()  # third concurrent probe rejected
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # cool-off restarts from the re-open
+        assert breaker.state == OPEN
+
+    def test_probe_successes_close(self):
+        breaker, clock = make_breaker(half_open_successes=2)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(10.0)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+        # The failure window was cleared on open: old failures are gone.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_protect_context_manager(self):
+        breaker, _ = make_breaker()
+        with breaker.protect("forward"):
+            pass
+        for _ in range(4):
+            with pytest.raises(RuntimeError):
+                with breaker.protect("forward"):
+                    raise RuntimeError("down")
+        with pytest.raises(CircuitOpen):
+            with breaker.protect("forward"):
+                pass
+
+    def test_snapshot_shape(self):
+        breaker, _ = make_breaker(name="model")
+        for _ in range(4):
+            breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["name"] == "model"
+        assert snap["state"] == OPEN
+        assert snap["open_remaining_s"] == pytest.approx(10.0)
+
+    def test_state_gauge_published(self):
+        registry = MetricRegistry()
+        breaker, _ = make_breaker(registry=registry, name="model")
+        gauge = registry.gauge('reliability/breaker_state{name="model"}')
+        assert gauge.value == 0
+        for _ in range(4):
+            breaker.record_failure()
+        assert gauge.value == 2
+
+
+class TestProperties:
+    """Random event sequences never leave the breaker inconsistent."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        events=st.lists(
+            st.sampled_from(["success", "failure", "allow", "tick"]),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_invariants_under_random_sequences(self, events):
+        breaker, clock = make_breaker()
+        allowed_probes = 0
+        for event in events:
+            state_before = breaker.state
+            if event == "success":
+                breaker.record_success()
+            elif event == "failure":
+                breaker.record_failure()
+            elif event == "allow":
+                if breaker.allow():
+                    allowed_probes += 1
+                    # A claimed probe must be resolved; resolve immediately
+                    # so slots cannot leak across the sequence.
+                    breaker.record_success()
+                else:
+                    assert state_before in (OPEN, HALF_OPEN)
+            elif event == "tick":
+                clock.advance(3.0)
+            state = breaker.state
+            assert state in (CLOSED, OPEN, HALF_OPEN)
+            assert 0.0 <= breaker.failure_rate <= 1.0
+            snap = breaker.snapshot()
+            assert snap["window"] <= breaker.window
+            assert (snap["open_remaining_s"] > 0) == (snap["state"] == OPEN)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcomes=st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_closed_trips_iff_windowed_ratio_reached(self, outcomes):
+        """While closed, the trip condition matches the documented formula.
+
+        The condition is evaluated on failures only — a recorded success
+        can push the windowed ratio over the threshold arithmetically,
+        but must never be the event that opens the circuit.
+        """
+        breaker, _ = make_breaker(window=8, failure_ratio=0.5, min_calls=4)
+        window = []
+        for failed in outcomes:
+            if breaker.state != CLOSED:
+                break
+            if failed:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            window = (window + [failed])[-8:]
+            should_trip = (
+                failed and len(window) >= 4 and sum(window) / len(window) >= 0.5
+            )
+            assert (breaker.state == OPEN) == should_trip
+
+    @settings(max_examples=100, deadline=None)
+    @given(extra_failures=st.integers(min_value=0, max_value=10))
+    def test_open_always_rejects_until_cooloff(self, extra_failures):
+        breaker, clock = make_breaker()
+        for _ in range(4 + extra_failures):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        for _ in range(5):
+            assert not breaker.allow()
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.002)
+        assert breaker.allow()

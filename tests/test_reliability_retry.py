@@ -1,0 +1,156 @@
+"""Tests for retries, backoff and the retry budget (repro.reliability.retry)."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.reliability import Deadline, Retry, RetryBudget
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then returns ``value``."""
+
+    def __init__(self, failures, error=RuntimeError("transient"), value=42):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+def make_retry(**kwargs):
+    sleeps = []
+    kwargs.setdefault("base_delay_s", 0.01)
+    kwargs.setdefault("max_delay_s", 0.5)
+    retry = Retry(sleep=sleeps.append, **kwargs)
+    return retry, sleeps
+
+
+class TestRetry:
+    def test_first_try_success_never_sleeps(self):
+        retry, sleeps = make_retry(max_attempts=3)
+        fn = Flaky(0)
+        assert retry.call(fn) == 42
+        assert fn.calls == 1 and sleeps == []
+
+    def test_recovers_within_attempts(self):
+        retry, sleeps = make_retry(max_attempts=3)
+        fn = Flaky(2)
+        assert retry.call(fn) == 42
+        assert fn.calls == 3 and len(sleeps) == 2
+
+    def test_exhausted_attempts_raise_last_error(self):
+        retry, _ = make_retry(max_attempts=3)
+        fn = Flaky(99, error=RuntimeError("still down"))
+        with pytest.raises(RuntimeError, match="still down"):
+            retry.call(fn)
+        assert fn.calls == 3
+
+    def test_non_retryable_class_propagates_immediately(self):
+        retry, _ = make_retry(max_attempts=5, retry_on=(ConnectionError,))
+        fn = Flaky(99, error=ValueError("bad input"))
+        with pytest.raises(ValueError):
+            retry.call(fn)
+        assert fn.calls == 1
+
+    def test_predicate_refines_retryability(self):
+        retry, _ = make_retry(
+            max_attempts=5, predicate=lambda e: "transient" in str(e)
+        )
+        fn = Flaky(99, error=RuntimeError("permanent wreckage"))
+        with pytest.raises(RuntimeError):
+            retry.call(fn)
+        assert fn.calls == 1
+
+    def test_deadline_exceeded_never_retried(self):
+        retry, _ = make_retry(max_attempts=5)
+        fn = Flaky(99, error=DeadlineExceeded("budget gone"))
+        with pytest.raises(DeadlineExceeded):
+            retry.call(fn)
+        assert fn.calls == 1
+
+    def test_backoff_is_deterministic_under_seed(self):
+        a, sleeps_a = make_retry(max_attempts=4, seed=7)
+        b, sleeps_b = make_retry(max_attempts=4, seed=7)
+        for retry in (a, b):
+            with pytest.raises(RuntimeError):
+                retry.call(Flaky(99))
+        assert sleeps_a == sleeps_b and len(sleeps_a) == 3
+
+    def test_backoff_respects_bounds(self):
+        retry, sleeps = make_retry(
+            max_attempts=10, base_delay_s=0.01, max_delay_s=0.05, seed=3
+        )
+        with pytest.raises(RuntimeError):
+            retry.call(Flaky(99))
+        assert all(0.01 <= s <= 0.05 for s in sleeps)
+
+    def test_sleeping_past_deadline_raises_instead(self):
+        clock = FakeClock()
+        retry, sleeps = make_retry(max_attempts=5, base_delay_s=0.5, max_delay_s=0.5)
+        deadline = Deadline(0.1, clock=clock)  # less than one backoff step
+        fn = Flaky(99)
+        with pytest.raises(RuntimeError):
+            retry.call(fn, deadline=deadline)
+        assert fn.calls == 1 and sleeps == []
+
+    def test_on_retry_hook_observes_attempts(self):
+        seen = []
+        retry, _ = make_retry(max_attempts=3)
+        retry.call(
+            Flaky(2), on_retry=lambda attempt, error, delay: seen.append(attempt)
+        )
+        assert seen == [1, 2]
+
+
+class TestRetryBudget:
+    def test_budget_denies_once_drained(self):
+        clock = FakeClock()
+        budget = RetryBudget(rate_per_s=1.0, burst=2.0, clock=clock)
+        assert budget.try_spend() and budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.spent == 2 and budget.denied == 1
+
+    def test_budget_refills_over_time(self):
+        clock = FakeClock()
+        budget = RetryBudget(rate_per_s=1.0, burst=2.0, clock=clock)
+        budget.try_spend(), budget.try_spend()
+        assert not budget.try_spend()
+        clock.advance(1.5)
+        assert budget.try_spend()
+
+    def test_denied_budget_stops_retrying(self):
+        clock = FakeClock()
+        budget = RetryBudget(rate_per_s=0.001, burst=1.0, clock=clock)
+        retry, sleeps = make_retry(max_attempts=5, budget=budget)
+        fn = Flaky(99)
+        with pytest.raises(RuntimeError):
+            retry.call(fn)
+        assert fn.calls == 2  # first attempt + the single budgeted retry
+        assert budget.denied == 1
+
+    def test_budget_is_shared_across_policies(self):
+        clock = FakeClock()
+        budget = RetryBudget(rate_per_s=0.001, burst=2.0, clock=clock)
+        retry_a, _ = make_retry(max_attempts=3, budget=budget)
+        retry_b, _ = make_retry(max_attempts=3, budget=budget)
+        for retry in (retry_a, retry_b):
+            with pytest.raises(RuntimeError):
+                retry.call(Flaky(99))
+        # 2 tokens total: each policy got at most one retry beyond the first.
+        assert budget.spent == 2
