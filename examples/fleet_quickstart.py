@@ -1,0 +1,115 @@
+"""Fleet quickstart: a two-tenant pool, a shadow deployment, a canary.
+
+Builds two deliberately tiny (untrained) models, exports them as
+bundles, and drives an :class:`~repro.serve.EnginePool` in-process:
+
+1. two tenants answer forecasts from fully isolated state;
+2. a shadow of tenant ``beta``'s bundle mirrors all of ``alpha``'s
+   traffic off the request path and records the divergence;
+3. a staged canary rolls ``alpha`` over to the candidate bundle and
+   promotes it after serving every stage cleanly.
+
+Runs in well under a minute on a laptop CPU. Usage::
+
+    python examples/fleet_quickstart.py
+"""
+
+import numpy as np
+
+from repro.experiments import DataConfig, ModelConfig, build_model, prepare_context
+from repro.serve import CanaryConfig, EnginePool, ShadowConfig, export_bundle, load_bundle
+from repro.telemetry import MetricRegistry, render_prometheus
+
+
+def export_two_bundles():
+    ctx = prepare_context(
+        DataConfig(num_nodes=6, num_days=3, steps_per_day=96, missing_rate=0.3,
+                   input_length=12, output_length=6, stride=4),
+        ModelConfig(embed_dim=8, hidden_dim=16, num_graphs=2,
+                    partition_downsample=6),
+    )
+    for name, base in (("FC-LSTM-I", "artifacts/fleet_a"),
+                       ("GCN-LSTM", "artifacts/fleet_b")):
+        export_bundle(build_model(name, ctx), name, ctx, base)
+    return load_bundle("artifacts/fleet_a"), load_bundle("artifacts/fleet_b")
+
+
+def drive(pool, tenant, rounds, start_step, seed):
+    """Observe a full-network reading, then forecast, ``rounds`` times."""
+    runtime = pool.runtime(tenant)
+    n, d = runtime.store.num_nodes, runtime.store.num_features
+    rng = np.random.default_rng(seed)
+    forecast = None
+    for index in range(rounds):
+        pool.observe(tenant, start_step + index,
+                     rng.normal(60.0, 5.0, size=(n, d)))
+        forecast = pool.forecast(tenant)
+        assert forecast.degraded is None
+    return forecast
+
+
+def main() -> None:
+    bundle_a, bundle_b = export_two_bundles()
+    window = bundle_a.input_length
+
+    pool = EnginePool(registry=MetricRegistry())
+    pool.add_tenant("alpha", bundle_a, quota_rps=200.0)
+    pool.add_tenant("beta", bundle_b)
+
+    with pool:
+        # ------------------------------------------------------------------
+        # 1. Isolated tenants: same steps, different state, different models.
+        # ------------------------------------------------------------------
+        fa = drive(pool, "alpha", window + 2, 0, seed=1)
+        fb = drive(pool, "beta", window + 2, 0, seed=2)
+        print(f"alpha ({bundle_a.model_name}) forecast[0,0,0] = "
+              f"{fa.prediction[0, 0, 0]:.2f}")
+        print(f"beta  ({bundle_b.model_name}) forecast[0,0,0] = "
+              f"{fb.prediction[0, 0, 0]:.2f}")
+        for key in sorted(pool.engines()):
+            print(f"  registry: {key}")
+
+        # ------------------------------------------------------------------
+        # 2. Shadow: mirror alpha's traffic against beta's bundle, off-path.
+        # ------------------------------------------------------------------
+        pool.start_shadow(
+            "alpha",
+            ShadowConfig(bundle="candidate", mirror_fraction=1.0),
+            bundle=load_bundle("artifacts/fleet_b"),
+        )
+        drive(pool, "alpha", 6, window + 2, seed=3)
+        pool.drain_shadow(timeout=30.0)
+        shadow = pool.stop_shadow("alpha")
+        print(f"shadow: {shadow['compared']} comparisons, divergence "
+              f"mean|Δ| = {shadow['divergence_mean_abs']:.3f}, "
+              f"max|Δ| = {shadow['divergence_max_abs']:.3f}")
+
+        # ------------------------------------------------------------------
+        # 3. Canary: stage the candidate onto alpha's live traffic, promote.
+        # ------------------------------------------------------------------
+        pool.start_canary(
+            "alpha",
+            CanaryConfig(bundle="candidate", stages=(0.5, 1.0),
+                         stage_requests=4, min_failure_samples=3),
+            bundle=load_bundle("artifacts/fleet_b"),
+        )
+        drive(pool, "alpha", 30, window + 8, seed=4)
+        canary = pool.rollouts_snapshot()["alpha"]["canary"]
+        status = pool.tenant_snapshot("alpha")
+        print(f"canary: state={canary['state']} "
+              f"after {canary['total_successes']} clean answers; "
+              f"alpha now serves {status['model']} v{status['version']}")
+        assert canary["state"] == "promoted"
+        assert status["model"] == bundle_b.model_name
+
+    # Per-tenant metrics carry a tenant label on the Prometheus scrape.
+    text = render_prometheus(pool.registry)
+    fleet_lines = [line for line in text.splitlines()
+                   if line.startswith("repro_fleet_") and "#" not in line]
+    print("fleet series sample:")
+    for line in fleet_lines[:6]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

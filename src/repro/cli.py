@@ -167,6 +167,32 @@ def _build_parser() -> argparse.ArgumentParser:
     add_resilience_flags(p)
 
     p = sub.add_parser(
+        "fleet",
+        help="serve a multi-tenant fleet from a JSON manifest "
+             "(see docs/FLEET.md)",
+    )
+    p.add_argument("--manifest", required=True,
+                   help="fleet manifest path from save_fleet_manifest")
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="request-trace sampling rate in [0, 1] (0 = off)")
+    p.add_argument("--trace-export", type=str, default=None,
+                   help="append finished spans to this JSONL file")
+
+    p = sub.add_parser(
+        "fleet-smoke",
+        help="boot a two-tenant pool and exercise shadow/canary/quota "
+             "end to end (CI gate; see docs/FLEET.md)",
+    )
+    p.add_argument("--bundle-a", required=True,
+                   help="stable bundle base path from 'export'")
+    p.add_argument("--bundle-b", required=True,
+                   help="candidate bundle base path from 'export'")
+    p.add_argument("--rounds", type=int, default=120,
+                   help="observe+forecast rounds per tenant and phase")
+    p.add_argument("--report", type=str, default=None,
+                   help="also write the JSON report to this path")
+
+    p = sub.add_parser(
         "traces",
         help="pretty-print traces from a running server or a JSONL export",
     )
@@ -414,6 +440,44 @@ def main(argv: list[str] | None = None) -> int:
         print(f"verdict: {'PASS' if passed else 'FAIL'} "
               f"(availability target {args.availability_target:.2%})")
         if not passed:
+            return 1
+    elif args.command == "fleet":
+        from .serve import ServeApp, build_pool, load_fleet_manifest, run_server
+        from .telemetry import Tracer, set_tracer
+
+        fleet_cfg, base_dir = load_fleet_manifest(args.manifest)
+        tracer = Tracer(
+            sample_rate=args.trace_sample, export_path=args.trace_export
+        )
+        set_tracer(tracer)
+        pool = build_pool(fleet_cfg, base_dir=base_dir, tracer=tracer)
+        for name in pool.tenants():
+            runtime = pool.runtime(name)
+            print(f"tenant {name}: {runtime.bundle.model_name} "
+                  f"({runtime.bundle_ref}), "
+                  f"quota {'off' if runtime.quota is None else runtime.quota.snapshot()['rate_per_s']}")
+        app = ServeApp(pool=pool, config=fleet_cfg.default)
+        run_server(app)
+    elif args.command == "fleet-smoke":
+        import json
+
+        from .serve import load_bundle, run_fleet_smoke
+
+        bundle_a = load_bundle(args.bundle_a)
+        bundle_b = load_bundle(args.bundle_b)
+        print(f"fleet smoke: alpha={bundle_a.model_name} "
+              f"beta={bundle_b.model_name}, {args.rounds} rounds per phase")
+        report = run_fleet_smoke(
+            bundle_a, bundle_b, rounds=args.rounds, seed=args.seed
+        )
+        for check, ok in report["checks"].items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, default=str)
+            print(f"report written to {args.report}")
+        print(f"verdict: {'PASS' if report['passed'] else 'FAIL'}")
+        if not report["passed"]:
             return 1
     elif args.command == "traces":
         from .telemetry import format_trace

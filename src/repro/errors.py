@@ -5,12 +5,12 @@ stack, the CLI, user scripts) can catch "anything this library raises"
 without enumerating modules, and so resilience policies can classify
 failures by type instead of by message.
 
-Migration contract: every concrete subclass also inherits the stdlib
-base it historically raised as (``ValueError``, ``KeyError``,
-``RuntimeError``, ``TimeoutError``), so existing ``except ValueError``
-callers keep working for one release. New code should catch the typed
-classes; the stdlib bases will be dropped from the hierarchy in a
-future release.
+The transitional stdlib multiple inheritance (``ValueError``,
+``KeyError``, ``RuntimeError``, ``TimeoutError`` bases) announced in
+the previous release has been removed: every class below now inherits
+only from the typed hierarchy. Catch the typed classes — e.g.
+``except StateError`` instead of ``except ValueError`` — or
+``ReproError`` for everything the library raises on purpose.
 
 Layers:
 
@@ -21,7 +21,8 @@ Layers:
 * :class:`ConfigError` — invalid configuration values;
 * :class:`ServeError` — anything that fails a serving request, with
   the resilience-policy signals :class:`DeadlineExceeded`,
-  :class:`CircuitOpen` and :class:`Overloaded`.
+  :class:`CircuitOpen`, :class:`Overloaded` and
+  :class:`QuotaExceeded`.
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ __all__ = [
     "DeadlineExceeded",
     "CircuitOpen",
     "Overloaded",
+    "QuotaExceeded",
     "InjectedFault",
 ]
 
@@ -49,7 +51,7 @@ class ReproError(Exception):
     """Root of every exception this library raises on purpose."""
 
 
-class DataError(ReproError, ValueError):
+class DataError(ReproError):
     """Input data is malformed (bad CSV rows, shape/field mismatches)."""
 
 
@@ -57,14 +59,11 @@ class CheckpointError(ReproError):
     """A saved parameter state cannot be loaded into a model."""
 
 
-class MissingParameterError(CheckpointError, KeyError):
+class MissingParameterError(CheckpointError):
     """The state dict lacks a parameter the model expects."""
 
-    def __str__(self) -> str:  # KeyError.__str__ would repr-quote the message
-        return Exception.__str__(self)
 
-
-class ShapeMismatchError(CheckpointError, ValueError):
+class ShapeMismatchError(CheckpointError):
     """A stored parameter's shape differs from the model's."""
 
 
@@ -72,45 +71,47 @@ class BundleError(ReproError):
     """A serving bundle (.npz + .json header) is unusable."""
 
 
-class BundleFormatError(BundleError, ValueError):
+class BundleFormatError(BundleError):
     """The bundle header/archive violates the format contract."""
 
 
-class BundleModelError(BundleError, KeyError):
+class BundleModelError(BundleError):
     """The bundle names a model outside the neural registry."""
 
-    def __str__(self) -> str:
-        return Exception.__str__(self)
 
-
-class ConfigError(ReproError, ValueError):
+class ConfigError(ReproError):
     """A configuration value fails validation."""
 
 
 class ServeError(ReproError):
     """A serving request could not be answered normally.
 
-    The HTTP layer maps uncaught ``ServeError`` (that is not also a
-    ``ValueError``-family input error) to ``503`` with a ``Retry-After``
-    hint.
+    The HTTP layer maps input-validation failures (``StateError``,
+    ``DataError`` and stdlib ``ValueError``/``KeyError``/``TypeError``
+    from request parsing) to ``400`` and every other uncaught
+    ``ServeError`` to ``503`` with a ``Retry-After`` hint.
     """
 
 
-class StateError(ServeError, ValueError):
+class StateError(ServeError):
     """A streaming-state operation received invalid input."""
 
 
-class DeadlineExceeded(ServeError, TimeoutError):
+class DeadlineExceeded(ServeError):
     """The request's time budget ran out before an answer was ready."""
 
 
-class CircuitOpen(ServeError, RuntimeError):
+class CircuitOpen(ServeError):
     """A circuit breaker is rejecting calls to a failing dependency."""
 
 
-class Overloaded(ServeError, RuntimeError):
+class Overloaded(ServeError):
     """Load was shed: a bounded queue is full; retry with backoff."""
 
 
-class InjectedFault(ServeError, RuntimeError):
+class QuotaExceeded(Overloaded):
+    """A tenant exhausted its token-bucket quota; retry with backoff."""
+
+
+class InjectedFault(ServeError):
     """A fault deliberately raised by :mod:`repro.reliability.chaos`."""

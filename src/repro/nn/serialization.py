@@ -17,6 +17,7 @@ import os
 
 import numpy as np
 
+from ..errors import CheckpointError, MissingParameterError, ShapeMismatchError
 from .module import Module
 
 __all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_path"]
@@ -43,7 +44,7 @@ def save_checkpoint(model: Module, path: str | os.PathLike) -> str:
     """
     state = model.state_dict()
     if not state:
-        raise ValueError("model has no parameters to save")
+        raise CheckpointError("model has no parameters to save")
     path = checkpoint_path(path)
     np.savez(path, **state)
     return path
@@ -52,9 +53,11 @@ def save_checkpoint(model: Module, path: str | os.PathLike) -> str:
 def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
-    Raises ``KeyError``/``ValueError`` on architecture mismatch, naming
-    the checkpoint file and the first offending parameter (plus how many
-    more are affected) — a silent partial load is never performed.
+    Raises :class:`~repro.errors.MissingParameterError` /
+    :class:`~repro.errors.ShapeMismatchError` on architecture mismatch,
+    naming the checkpoint file and the first offending parameter (plus
+    how many more are affected) — a silent partial load is never
+    performed.
     """
     path = checkpoint_path(path)
     with np.load(path) as archive:
@@ -63,7 +66,7 @@ def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
     expected = list(model.named_parameters())
     missing = [name for name, _param in expected if name not in state]
     if missing:
-        raise KeyError(
+        raise MissingParameterError(
             f"checkpoint {path!r} is missing parameter {missing[0]!r}"
             + (f" (and {len(missing) - 1} more)" if len(missing) > 1 else "")
             + f"; archive holds {len(state)} arrays, model expects {len(expected)}"
@@ -75,7 +78,7 @@ def load_checkpoint(model: Module, path: str | os.PathLike) -> Module:
     ]
     if mismatched:
         name, want, got = mismatched[0]
-        raise ValueError(
+        raise ShapeMismatchError(
             f"checkpoint {path!r} has shape {got} for parameter {name!r}, "
             f"model expects {want}"
             + (f" (and {len(mismatched) - 1} more mismatches)" if len(mismatched) > 1 else "")

@@ -26,7 +26,7 @@ from collections import deque
 from typing import Callable, Iterator, TypeVar
 
 from ..errors import CircuitOpen
-from ..telemetry import MetricRegistry, get_registry
+from ..telemetry import MetricRegistry, get_registry, label_block
 
 __all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
 
@@ -85,14 +85,15 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _publish_state(self) -> None:
-        self.registry.gauge(f"reliability/breaker_state{{name=\"{self.name}\"}}").set(
-            _STATE_GAUGE[self._state]
-        )
+        self.registry.gauge(
+            "reliability/breaker_state" + label_block({"name": self.name})
+        ).set(_STATE_GAUGE[self._state])
 
     def _transition(self, state: str) -> None:
         self._state = state
         self.registry.counter(
-            f"reliability/breaker_transitions{{name=\"{self.name}\",to=\"{state}\"}}"
+            "reliability/breaker_transitions"
+            + label_block({"name": self.name, "to": state})
         ).inc()
         if state == OPEN:
             self._opened_at = self._clock()
@@ -137,7 +138,7 @@ class CircuitBreaker:
                 self._probes_inflight += 1
                 return True
             self.registry.counter(
-                f"reliability/breaker_rejections{{name=\"{self.name}\"}}"
+                "reliability/breaker_rejections" + label_block({"name": self.name})
             ).inc()
             return False
 

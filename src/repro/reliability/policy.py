@@ -15,7 +15,7 @@ compares against.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Callable
 
 from ..errors import ConfigError
@@ -106,6 +106,34 @@ class ResiliencePolicy:
 
     def with_overrides(self, **changes) -> "ResiliencePolicy":
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Manifest round-trip: fleet manifests carry per-tenant overrides
+    # as plain JSON objects.
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Every field as a JSON-serialisable mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResiliencePolicy":
+        """Build a policy from a JSON mapping of overrides.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` (a typo in
+        a fleet manifest must not silently fall back to defaults).
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"resilience overrides must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown resilience policy field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        return cls(**payload)
 
     # ------------------------------------------------------------------
     def make_deadline(

@@ -14,10 +14,26 @@ See ``docs/SERVING.md`` for the full walk-through and
 ``examples/serve_quickstart.py`` for a runnable end-to-end script.
 """
 
-from .artifact import FORMAT_VERSION, ModelBundle, export_bundle, load_bundle
+from .artifact import (
+    FLEET_FORMAT_VERSION,
+    FORMAT_VERSION,
+    ModelBundle,
+    export_bundle,
+    load_bundle,
+    load_fleet_manifest,
+    save_fleet_manifest,
+)
 from .cache import LRUCache
-from .config import ServeConfig
+from .config import (
+    DEFAULT_TENANT,
+    CanaryConfig,
+    FleetConfig,
+    ServeConfig,
+    ShadowConfig,
+    TenantConfig,
+)
 from .engine import Forecast, ForecastEngine
+from .fleet import EnginePool, TenantQuota, build_pool
 from .http import PlainText, Response, ServeApp, make_server, run_server
 from .loadgen import (
     LoadReport,
@@ -25,19 +41,31 @@ from .loadgen import (
     compare_batched_sequential,
     make_chaos_app,
     run_chaos_soak,
+    run_fleet_smoke,
     run_load,
 )
 from .state import StateStore, StateWindow
 
 __all__ = [
+    "FLEET_FORMAT_VERSION",
     "FORMAT_VERSION",
     "ModelBundle",
     "export_bundle",
     "load_bundle",
+    "load_fleet_manifest",
+    "save_fleet_manifest",
     "LRUCache",
+    "DEFAULT_TENANT",
+    "CanaryConfig",
+    "FleetConfig",
     "ServeConfig",
+    "ShadowConfig",
+    "TenantConfig",
     "Forecast",
     "ForecastEngine",
+    "EnginePool",
+    "TenantQuota",
+    "build_pool",
     "PlainText",
     "Response",
     "ServeApp",
@@ -49,6 +77,7 @@ __all__ = [
     "SoakReport",
     "make_chaos_app",
     "run_chaos_soak",
+    "run_fleet_smoke",
     "StateStore",
     "StateWindow",
 ]

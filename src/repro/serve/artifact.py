@@ -35,10 +35,21 @@ from ..models.base import NeuralForecaster
 from .engine import ForecastEngine
 from .state import StateStore
 
-__all__ = ["FORMAT_VERSION", "ModelBundle", "export_bundle", "load_bundle"]
+__all__ = [
+    "FLEET_FORMAT_VERSION",
+    "FORMAT_VERSION",
+    "ModelBundle",
+    "export_bundle",
+    "load_bundle",
+    "load_fleet_manifest",
+    "save_fleet_manifest",
+]
 
 #: bumped on any incompatible change to the bundle layout
 FORMAT_VERSION = 1
+
+#: bumped on any incompatible change to the fleet manifest layout
+FLEET_FORMAT_VERSION = 1
 
 _PARAM_PREFIX = "param/"
 
@@ -313,3 +324,63 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
         graph_set=graph_set,
         header=header,
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet manifests: one JSON file describing a whole multi-tenant pool.
+# ----------------------------------------------------------------------
+
+def save_fleet_manifest(fleet, path: str | os.PathLike) -> str:
+    """Write a :class:`~repro.serve.config.FleetConfig` as a JSON manifest.
+
+    Bundle references inside the fleet are stored verbatim; relative
+    paths are resolved against the manifest's directory at load time, so
+    a manifest can travel with its bundles as one directory.
+    """
+    from .config import FleetConfig
+
+    if not isinstance(fleet, FleetConfig):
+        raise BundleFormatError(
+            f"save_fleet_manifest needs a FleetConfig, got {type(fleet).__name__}"
+        )
+    out = os.fspath(path)
+    if not out.endswith(".json"):
+        out += ".json"
+    payload = {"format_version": FLEET_FORMAT_VERSION, **fleet.to_json_dict()}
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return out
+
+
+def load_fleet_manifest(path: str | os.PathLike):
+    """Read a fleet manifest; returns ``(FleetConfig, base_dir)``.
+
+    ``base_dir`` is the manifest's directory — pass it to
+    :func:`~repro.serve.fleet.build_pool` so relative bundle references
+    resolve next to the manifest.
+    """
+    from .config import FleetConfig
+
+    manifest = os.fspath(path)
+    try:
+        with open(manifest, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        raise BundleFormatError(f"fleet manifest {manifest!r} not found") from None
+    except json.JSONDecodeError as error:
+        raise BundleFormatError(
+            f"fleet manifest {manifest!r} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise BundleFormatError(
+            f"fleet manifest {manifest!r} must be a JSON object"
+        )
+    version = payload.get("format_version")
+    if version != FLEET_FORMAT_VERSION:
+        raise BundleFormatError(
+            f"fleet manifest {manifest!r} has format version {version!r}; "
+            f"this build reads version {FLEET_FORMAT_VERSION}"
+        )
+    fleet = FleetConfig.from_dict(payload)
+    return fleet, os.path.dirname(os.path.abspath(manifest))

@@ -12,22 +12,46 @@ single frozen dataclass with three constructors:
 * ``ServeConfig.from_args(ns)`` — an ``argparse`` namespace from the
   CLI ``serve``/``chaos`` subcommands.
 
-Old call styles (``make_server(app, host, port)``, engine kwargs passed
-straight to ``ServeApp``) keep working behind a single
-``DeprecationWarning``, mirroring the ``TrainerConfig.verbose``
-deprecation from the telemetry PR.
+The multi-tenant fleet layers on top: a :class:`FleetConfig` is a base
+``ServeConfig`` plus one :class:`TenantConfig` per tenant, each naming
+its model bundle, an optional token-bucket quota, per-tenant resilience
+overrides and optional :class:`ShadowConfig` / :class:`CanaryConfig`
+rollout plans. ``FleetConfig.single()`` wraps a lone ``ServeConfig``
+into a one-tenant fleet, which is how the legacy single-engine entry
+points keep working unchanged.
+
+The old loose-kwargs call styles (``make_server(app, host, port)``,
+engine kwargs passed straight to ``ServeApp``) were removed in this
+release; they now raise ``TypeError`` with a migration hint.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+import re
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from ..errors import ConfigError
 from ..reliability import ResiliencePolicy
 from ..telemetry import QualityThresholds
 
-__all__ = ["ServeConfig"]
+__all__ = [
+    "DEFAULT_TENANT",
+    "CanaryConfig",
+    "FleetConfig",
+    "ServeConfig",
+    "ShadowConfig",
+    "TenantConfig",
+]
+
+#: tenant used by every single-tenant entry point (legacy ``ServeApp``)
+DEFAULT_TENANT = "default"
+
+# Tenant names become Prometheus label values, path segments and
+# manifest keys. Label values are escaped at exposition time, but paths
+# and manifests want one predictable charset, so names are restricted
+# up front.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 def _env_value(env, key: str, cast, default):
@@ -172,3 +196,273 @@ class ServeConfig:
             trace_export=getattr(args, "trace_export", None),
             resilience=resilience,
         )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeConfig":
+        """Build from a JSON mapping (fleet manifests).
+
+        ``resilience`` and ``quality`` may be nested JSON objects of
+        overrides; every other key maps straight onto a field. Unknown
+        keys raise :class:`~repro.errors.ConfigError`.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"serve config must be a JSON object, got {type(payload).__name__}"
+            )
+        payload = dict(payload)
+        kwargs = {}
+        if "resilience" in payload:
+            kwargs["resilience"] = ResiliencePolicy.from_dict(payload.pop("resilience"))
+        if "quality" in payload:
+            quality = payload.pop("quality")
+            if not isinstance(quality, dict):
+                raise ConfigError(
+                    f"quality must be a JSON object, got {type(quality).__name__}"
+                )
+            kwargs["quality"] = QualityThresholds(**quality)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown serve config field(s) {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
+        kwargs.update(payload)
+        return cls(**kwargs)
+
+    def to_json_dict(self) -> dict:
+        """Every field as a JSON-serialisable mapping (fleet manifests)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["quality"] = asdict(self.quality)
+        out["resilience"] = self.resilience.to_json_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class ShadowConfig:
+    """A shadow deployment plan for one tenant.
+
+    ``bundle`` names the candidate bundle (manifest-relative path). A
+    ``mirror_fraction`` of live forecasts is replayed against the
+    candidate *off the request path*; each pair of answers feeds the
+    per-tenant divergence histogram.
+    """
+
+    bundle: str
+    mirror_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.bundle:
+            raise ConfigError("shadow bundle must be a non-empty path")
+        if not 0.0 < self.mirror_fraction <= 1.0:
+            raise ConfigError(
+                f"mirror_fraction must be in (0, 1], got {self.mirror_fraction}"
+            )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "bundle": self.bundle,
+            "mirror_fraction": self.mirror_fraction,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """A staged canary rollout plan for one tenant.
+
+    The candidate bundle receives a ``stages[i]`` fraction of live
+    traffic; after ``stage_requests`` clean candidate answers the
+    rollout advances to the next stage, and past the last stage the
+    candidate is promoted to primary. Rollback is automatic when the
+    candidate's circuit breaker opens, its ``QualityMonitor`` verdict
+    degrades, or its failure ratio exceeds ``max_failure_ratio``.
+    """
+
+    bundle: str
+    stages: tuple[float, ...] = (0.01, 0.1, 0.5, 1.0)
+    stage_requests: int = 50
+    max_failure_ratio: float = 0.1
+    min_failure_samples: int = 5
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.bundle:
+            raise ConfigError("canary bundle must be a non-empty path")
+        object.__setattr__(self, "stages", tuple(float(s) for s in self.stages))
+        if not self.stages:
+            raise ConfigError("canary needs at least one stage weight")
+        for weight in self.stages:
+            if not 0.0 < weight <= 1.0:
+                raise ConfigError(
+                    f"canary stage weights must be in (0, 1], got {weight}"
+                )
+        if list(self.stages) != sorted(self.stages):
+            raise ConfigError(f"canary stages must be non-decreasing, got {self.stages}")
+        if self.stage_requests < 1:
+            raise ConfigError(
+                f"stage_requests must be >= 1, got {self.stage_requests}"
+            )
+        if not 0.0 <= self.max_failure_ratio < 1.0:
+            raise ConfigError(
+                f"max_failure_ratio must be in [0, 1), got {self.max_failure_ratio}"
+            )
+        if self.min_failure_samples < 1:
+            raise ConfigError(
+                f"min_failure_samples must be >= 1, got {self.min_failure_samples}"
+            )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "bundle": self.bundle,
+            "stages": list(self.stages),
+            "stage_requests": self.stage_requests,
+            "max_failure_ratio": self.max_failure_ratio,
+            "min_failure_samples": self.min_failure_samples,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant of the fleet: a bundle, a quota and rollout plans.
+
+    ``quota_rps``/``quota_burst`` parameterise the tenant's token
+    bucket (0 rps disables the quota). ``config`` overrides the fleet's
+    base :class:`ServeConfig` for this tenant (``None`` inherits).
+    """
+
+    name: str
+    bundle: str
+    quota_rps: float = 0.0
+    quota_burst: float = 10.0
+    config: ServeConfig | None = None
+    shadow: ShadowConfig | None = None
+    canary: CanaryConfig | None = None
+
+    def __post_init__(self):
+        if not _TENANT_NAME.match(self.name):
+            raise ConfigError(
+                f"tenant name {self.name!r} is invalid: use 1-64 characters "
+                "from [A-Za-z0-9._-], starting with a letter or digit"
+            )
+        if not self.bundle:
+            raise ConfigError(f"tenant {self.name!r} needs a bundle path")
+        if self.quota_rps < 0:
+            raise ConfigError(f"quota_rps must be >= 0, got {self.quota_rps}")
+        if self.quota_rps > 0 and self.quota_burst < 1:
+            raise ConfigError(
+                f"quota_burst must be >= 1 when a quota is set, got {self.quota_burst}"
+            )
+        if self.config is not None and not isinstance(self.config, ServeConfig):
+            raise ConfigError(
+                f"tenant config must be a ServeConfig, got {type(self.config).__name__}"
+            )
+        if self.shadow is not None and self.canary is not None:
+            raise ConfigError(
+                f"tenant {self.name!r}: run shadow and canary rollouts one at a "
+                "time (shadow first, then canary)"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantConfig":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"tenant entry must be a JSON object, got {type(payload).__name__}"
+            )
+        payload = dict(payload)
+        kwargs = {}
+        if "config" in payload:
+            kwargs["config"] = ServeConfig.from_dict(payload.pop("config"))
+        if "shadow" in payload and payload["shadow"] is not None:
+            kwargs["shadow"] = ShadowConfig(**payload.pop("shadow"))
+        if "canary" in payload and payload["canary"] is not None:
+            canary = dict(payload.pop("canary"))
+            if "stages" in canary:
+                canary["stages"] = tuple(canary["stages"])
+            kwargs["canary"] = CanaryConfig(**canary)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown tenant field(s) {unknown}; valid fields: {sorted(known)}"
+            )
+        kwargs.update({k: v for k, v in payload.items() if k not in kwargs})
+        return cls(**kwargs)
+
+    def to_json_dict(self) -> dict:
+        out: dict = {"name": self.name, "bundle": self.bundle}
+        if self.quota_rps:
+            out["quota_rps"] = self.quota_rps
+            out["quota_burst"] = self.quota_burst
+        if self.shadow is not None:
+            out["shadow"] = self.shadow.to_json_dict()
+        if self.canary is not None:
+            out["canary"] = self.canary.to_json_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A fleet: the base serving config plus one entry per tenant."""
+
+    default: ServeConfig = field(default_factory=ServeConfig)
+    tenants: tuple[TenantConfig, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not isinstance(self.default, ServeConfig):
+            raise ConfigError(
+                f"default must be a ServeConfig, got {type(self.default).__name__}"
+            )
+        if not self.tenants:
+            raise ConfigError("a fleet needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ConfigError(f"duplicate tenant name(s): {dupes}")
+
+    @classmethod
+    def single(
+        cls, config: ServeConfig | None = None, bundle: str = "<in-memory>"
+    ) -> "FleetConfig":
+        """A one-tenant fleet wrapping the legacy single-engine setup."""
+        config = config if config is not None else ServeConfig()
+        return cls(
+            default=config,
+            tenants=(TenantConfig(name=DEFAULT_TENANT, bundle=bundle),),
+        )
+
+    def tenant(self, name: str) -> TenantConfig:
+        for entry in self.tenants:
+            if entry.name == name:
+                return entry
+        raise ConfigError(f"no tenant named {name!r} in the fleet")
+
+    def config_for(self, name: str) -> ServeConfig:
+        """The effective ServeConfig for ``name`` (tenant override or base)."""
+        entry = self.tenant(name)
+        return entry.config if entry.config is not None else self.default
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetConfig":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"fleet manifest must be a JSON object, got {type(payload).__name__}"
+            )
+        default = ServeConfig.from_dict(payload.get("default", {}))
+        raw_tenants = payload.get("tenants", [])
+        if not isinstance(raw_tenants, list):
+            raise ConfigError("fleet manifest 'tenants' must be a JSON array")
+        tenants = tuple(TenantConfig.from_dict(entry) for entry in raw_tenants)
+        unknown = sorted(set(payload) - {"default", "tenants", "format_version"})
+        if unknown:
+            raise ConfigError(f"unknown fleet manifest field(s) {unknown}")
+        return cls(default=default, tenants=tenants)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "default": self.default.to_json_dict(),
+            "tenants": [tenant.to_json_dict() for tenant in self.tenants],
+        }

@@ -52,7 +52,7 @@ from ..datasets import ZScoreScaler
 from ..errors import CircuitOpen, DeadlineExceeded, Overloaded, ServeError
 from ..models.base import NeuralForecaster
 from ..reliability import Deadline, Fallback, ResiliencePolicy, window_mean_forecast
-from ..telemetry import MetricRegistry, Tracer, get_registry, get_tracer
+from ..telemetry import MetricRegistry, Tracer, get_registry, get_tracer, label_block
 from .cache import LRUCache
 from .state import StateStore, StateWindow
 
@@ -122,6 +122,14 @@ class ForecastEngine:
         deadlines, retries, the forward circuit breaker, the fallback
         ladder and queue bounding. ``ResiliencePolicy.disabled()``
         reproduces the pre-resilience engine bit for bit.
+    labels:
+        Extra Prometheus labels stamped on every serve metric this
+        engine emits (the fleet passes ``{"tenant": name}``). Empty
+        keeps the original unlabelled series names, so a single-engine
+        deployment's exposition is unchanged.
+    name:
+        Identity for the engine's circuit breaker (gauge label and
+        snapshot ``name`` field); the pool derives one per tenant.
     """
 
     def __init__(
@@ -135,6 +143,8 @@ class ForecastEngine:
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
         policy: ResiliencePolicy | None = None,
+        labels: dict[str, str] | None = None,
+        name: str = "model",
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -152,7 +162,9 @@ class ForecastEngine:
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.policy = policy if policy is not None else ResiliencePolicy()
-        self.breaker = self.policy.make_breaker("model", registry=self.registry)
+        self.labels = dict(labels) if labels else {}
+        self.name = name
+        self.breaker = self.policy.make_breaker(name, registry=self.registry)
         self.retry = self.policy.make_retry()
         # queue.Queue(maxsize=0) is unbounded, matching max_queue_depth=0.
         self._queue: "queue.Queue[_Request | None]" = queue.Queue(
@@ -165,6 +177,12 @@ class ForecastEngine:
         # Written only under _forward_lock-free dispatcher code; reads
         # are racy-but-atomic tuple loads.
         self._last_good: tuple[int, int, np.ndarray] | None = None
+
+    def _m(self, base: str, **extra: str) -> str:
+        """Registry name for ``base`` with this engine's labels applied."""
+        if not self.labels and not extra:
+            return base
+        return base + label_block({**self.labels, **extra})
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -217,8 +235,8 @@ class ForecastEngine:
     def reliability_snapshot(self) -> dict:
         """JSON-ready resilience state for ``/healthz`` and operators."""
 
-        def count(name: str) -> int:
-            return int(self.registry.counter(name).value)
+        def count(name: str, **extra: str) -> int:
+            return int(self.registry.counter(self._m(name, **extra)).value)
 
         return {
             "policy": {
@@ -232,8 +250,8 @@ class ForecastEngine:
             "queue_depth": self.queue_depth,
             "degraded_total": count("serve/degraded"),
             "fallback": {
-                "stale": count('serve/fallback{rung="stale"}'),
-                "window_mean": count('serve/fallback{rung="window_mean"}'),
+                "stale": count("serve/fallback", rung="stale"),
+                "window_mean": count("serve/fallback", rung="window_mean"),
             },
             "shed_total": count("serve/shed"),
             "deadline_expired_total": count("serve/deadline_expired"),
@@ -265,7 +283,7 @@ class ForecastEngine:
                 f"horizon {horizon} out of range 1..{self.model.output_length}"
             )
         start = time.perf_counter()
-        self.registry.counter("serve/requests").inc()
+        self.registry.counter(self._m("serve/requests")).inc()
         if deadline is None:
             deadline = self.policy.make_deadline()
         with self.tracer.span(
@@ -276,7 +294,7 @@ class ForecastEngine:
             cached = self._cache_lookup(window.version, horizon)
             if cached is not None:
                 span.set_attribute("cache_hit", True)
-                self.registry.counter("serve/cache_hits").inc()
+                self.registry.counter(self._m("serve/cache_hits")).inc()
                 self._observe_latency(start)
                 return cached
             span.set_attribute("cache_hit", False)
@@ -314,7 +332,7 @@ class ForecastEngine:
                 self._queue.put_nowait(request)
             except queue.Full:
                 self.tracer.end_span(queue_span)
-                self.registry.counter("serve/shed").inc()
+                self.registry.counter(self._m("serve/shed")).inc()
                 raise Overloaded(
                     f"forecast queue full ({self.policy.max_queue_depth} pending)"
                 ) from None
@@ -383,17 +401,17 @@ class ForecastEngine:
         try:
             outcome = ladder.call()
         except ServeError:
-            self.registry.counter("serve/unavailable").inc()
+            self.registry.counter(self._m("serve/unavailable")).inc()
             span.set_attribute("degraded", "unavailable")
             raise error from None
-        self.registry.counter("serve/degraded").inc()
-        self.registry.counter(f'serve/fallback{{rung="{outcome.rung}"}}').inc()
+        self.registry.counter(self._m("serve/degraded")).inc()
+        self.registry.counter(self._m("serve/fallback", rung=outcome.rung)).inc()
         span.set_attribute("degraded", outcome.rung)
         span.set_attribute("degraded_cause", type(error).__name__)
         return outcome.value
 
     def _observe_latency(self, start: float) -> None:
-        self.registry.histogram("serve/latency_ms").observe(
+        self.registry.histogram(self._m("serve/latency_ms")).observe(
             (time.perf_counter() - start) * 1e3
         )
 
@@ -445,7 +463,7 @@ class ForecastEngine:
             if request.deadline is not None and request.deadline.expired:
                 if request.queue_span is not None:
                     self.tracer.end_span(request.queue_span)
-                self.registry.counter("serve/deadline_expired").inc()
+                self.registry.counter(self._m("serve/deadline_expired")).inc()
                 request.future.set_exception(
                     DeadlineExceeded(
                         f"request spent its {request.deadline.budget_s:.3f}s "
@@ -493,8 +511,8 @@ class ForecastEngine:
             bspan.set_attribute("unique_versions", len(windows))
             predictions = self._guarded_predict(windows, batch)  # (U, T_out, N, D_out)
 
-            self.registry.counter("serve/batches").inc()
-            self.registry.histogram("serve/batch_size").observe(len(batch))
+            self.registry.counter(self._m("serve/batches")).inc()
+            self.registry.histogram(self._m("serve/batch_size")).observe(len(batch))
 
             # Remember the freshest successful full-horizon prediction —
             # it is the stale rung of the fallback ladder.
@@ -564,7 +582,7 @@ class ForecastEngine:
         m = np.stack([w.m for w in windows])
         steps = np.stack([w.steps_of_day for w in windows])
         x_scaled = self.scaler.transform(x, m)
-        self.registry.counter("serve/forwards").inc()
+        self.registry.counter(self._m("serve/forwards")).inc()
         with self.tracer.span(
             "model_forward",
             attributes={"rows": len(windows), "model": type(self.model).__name__},

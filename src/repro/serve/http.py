@@ -1,4 +1,4 @@
-"""Stdlib HTTP front-end for the forecast engine.
+"""Stdlib HTTP front-end for the forecast engine fleet.
 
 A deliberately small JSON API on :class:`http.server.ThreadingHTTPServer`
 (no web framework — the repo stays dependency-free):
@@ -8,33 +8,47 @@ A deliberately small JSON API on :class:`http.server.ThreadingHTTPServer`
   (``mask`` optional) or a single sensor ``{"step": 17, "node": 3,
   "features": [61.2]}``.
 * ``GET /forecast?horizon=12`` — forecast from the current state, in
-  original units; micro-batched with concurrent requests.
+  original units; micro-batched with concurrent requests, quota-checked
+  and canary-routed when the tenant has a rollout in flight.
 * ``GET /healthz`` — liveness plus state summary (warm-up, version) and
   the data-quality verdict; ``status`` flips to ``"degraded"`` when any
   sensor trips a :class:`~repro.telemetry.QualityThresholds` limit.
 * ``GET /metrics`` — Prometheus text exposition of the telemetry
   registry (content-type ``text/plain; version=0.0.4``); append
   ``?format=json`` (or send ``Accept: application/json``) for the
-  legacy JSON snapshot.
+  legacy JSON snapshot. Fleet series carry a ``tenant`` label.
 * ``GET /traces?limit=10`` — recent finished traces from the tracer
   buffer, grouped per trace (pretty-print them with ``repro traces``).
+* ``GET /tenants`` — one summary per tenant: bundle, version, warm-up,
+  quota counters.
+* ``GET /rollouts`` — live shadow/canary state per tenant;
+  ``POST /rollouts`` with ``{"tenant": ..., "action": "rollback" |
+  "promote"}`` drives a rollout by hand.
+
+**Tenant routing.** Requests address a tenant three ways, most specific
+first: a ``/t/<tenant>/...`` path prefix, an ``X-Tenant`` header, or a
+``?tenant=`` query parameter. With none of the three the request lands
+on the ``default`` tenant (a single-tenant pool's only tenant is the
+implicit default). Unknown tenants are a 404.
 
 Every request runs under an ``http <METHOD> <route>`` root span, so the
 trace tree of a forecast shows HTTP → engine.forecast → queue →
 batch_forward → model_forward in one place.
 
 Threading model: each connection gets a handler thread (the stdlib
-mixin); handlers funnel forecasts through the engine's batching queue
-and observations through the store's lock.
+mixin); handlers funnel forecasts through the pool's routing and each
+engine's batching queue, and observations through the store's lock.
 
 Resilience surface (see ``docs/RELIABILITY.md``): endpoints return
 :class:`Response` objects so degraded answers can carry ``X-Degraded``
 and ``Retry-After`` headers; resilience errors map onto HTTP —
+:class:`~repro.errors.QuotaExceeded` and any other
 :class:`~repro.errors.Overloaded` → 429, any other
 :class:`~repro.errors.ServeError` (open breaker, blown deadline, dry
-fallback ladder) → 503, both with ``Retry-After``. Tuning arrives as
-one :class:`~repro.serve.config.ServeConfig`; the old loose kwargs keep
-working for a release behind a ``DeprecationWarning``.
+fallback ladder) → 503, all with ``Retry-After``. Tuning arrives as one
+:class:`~repro.serve.config.ServeConfig` per tenant; the pre-fleet
+loose kwargs were removed in this release and now raise
+:class:`TypeError` with a migration hint.
 """
 
 from __future__ import annotations
@@ -42,7 +56,6 @@ from __future__ import annotations
 import json
 import math
 import threading
-import warnings
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -50,7 +63,15 @@ from urllib.parse import parse_qs, urlparse
 import numpy as np
 
 from ..autodiff import default_dtype
-from ..errors import CircuitOpen, Overloaded, ServeError
+from ..errors import (
+    CircuitOpen,
+    ConfigError,
+    DataError,
+    Overloaded,
+    QuotaExceeded,
+    ServeError,
+    StateError,
+)
 from ..reliability import OPEN
 from ..telemetry import (
     PROMETHEUS_CONTENT_TYPE,
@@ -62,8 +83,9 @@ from ..telemetry import (
     render_prometheus,
 )
 from .artifact import ModelBundle
-from .config import ServeConfig
+from .config import DEFAULT_TENANT, ServeConfig
 from .engine import ForecastEngine
+from .fleet import EnginePool
 from .state import StateStore
 
 __all__ = ["PlainText", "Response", "ServeApp", "make_server", "run_server"]
@@ -81,10 +103,10 @@ class PlainText:
 class Response:
     """One HTTP response: status, body and response headers.
 
-    Replaces the old ``(status, payload)`` tuples so degraded and
-    rejected responses can set ``X-Degraded`` / ``Retry-After``.
-    Iterating yields ``(status, body)``, keeping ``status, payload =
-    app.handle(...)`` call sites working unchanged.
+    Replaced the old ``(status, payload)`` tuples so degraded and
+    rejected responses can set ``X-Degraded`` / ``Retry-After``. The
+    transitional tuple unpacking is gone: read ``response.status`` and
+    ``response.body``.
     """
 
     status: int
@@ -92,129 +114,177 @@ class Response:
     headers: dict = field(default_factory=dict)
 
     def __iter__(self):
-        return iter((self.status, self.body))
+        raise TypeError(
+            "Response is no longer iterable; unpack via response.status "
+            "and response.body instead of 'status, payload = ...'"
+        )
 
 
-#: ServeApp kwargs that used to be loose engine tuning, now ServeConfig fields.
-_LEGACY_APP_KWARGS = ("max_batch_size", "max_wait_s", "cache_size", "trace_sample")
+#: ServeApp kwargs that were loose engine tuning, removed in the fleet release.
+_REMOVED_APP_KWARGS = ("max_batch_size", "max_wait_s", "cache_size", "trace_sample")
 
 
 class ServeApp:
-    """Routes requests onto a bundle's store and engine.
+    """Routes requests onto a pool of per-tenant stores and engines.
 
-    All tuning — batching, cache, tracing, quality thresholds and the
-    resilience policy — arrives as one :class:`ServeConfig`. The old
-    loose kwargs (``max_batch_size``, ``max_wait_s``, ``cache_size``,
-    ``trace_sample``) are folded into a config behind a single
-    ``DeprecationWarning`` for one release.
+    Two construction paths:
+
+    * ``ServeApp(bundle, config=ServeConfig(...))`` — the single-model
+      setup: builds a one-tenant :class:`~repro.serve.fleet.EnginePool`
+      whose ``default`` tenant keeps the unlabelled metric names, so
+      responses and ``/metrics`` are byte-identical to the pre-fleet
+      server.
+    * ``ServeApp(pool=pool)`` — adopt a pre-built multi-tenant pool
+      (see :func:`~repro.serve.fleet.build_pool`).
+
+    The pre-fleet loose kwargs (``max_batch_size``, ``max_wait_s``,
+    ``cache_size``, ``trace_sample``) were removed in this release and
+    raise :class:`TypeError`; fold them into a
+    :class:`~repro.serve.config.ServeConfig`.
     """
 
     def __init__(
         self,
-        bundle: ModelBundle,
+        bundle: ModelBundle | None = None,
         store: StateStore | None = None,
         engine: ForecastEngine | None = None,
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
         quality: QualityMonitor | None = None,
         config: ServeConfig | None = None,
-        **legacy,
+        pool: EnginePool | None = None,
+        **removed,
     ):
-        unknown = set(legacy) - set(_LEGACY_APP_KWARGS)
-        if unknown:
+        if removed:
+            bad = sorted(set(removed) & set(_REMOVED_APP_KWARGS))
+            if bad:
+                raise TypeError(
+                    f"ServeApp() kwargs {bad} were removed; pass a ServeConfig "
+                    "instead, e.g. ServeApp(bundle, config=ServeConfig("
+                    f"{bad[0]}=...))"
+                )
             raise TypeError(
-                f"ServeApp() got unexpected keyword arguments {sorted(unknown)}"
+                f"ServeApp() got unexpected keyword arguments {sorted(removed)}"
             )
-        config = config if config is not None else ServeConfig()
-        if legacy:
-            warnings.warn(
-                f"ServeApp({', '.join(sorted(legacy))}=...) kwargs are "
-                "deprecated; pass a ServeConfig instead "
-                "(config=ServeConfig(...))",
-                DeprecationWarning,
-                stacklevel=2,
+        if pool is not None:
+            if bundle is not None or store is not None or engine is not None:
+                raise TypeError(
+                    "ServeApp(pool=...) adopts the pool's runtimes; do not "
+                    "also pass bundle/store/engine"
+                )
+            self.pool = pool
+            self.registry = pool.registry
+            self.tracer = pool.tracer
+            self.config = config if config is not None else ServeConfig()
+        else:
+            if bundle is None:
+                raise TypeError("ServeApp() needs a bundle or a pool")
+            config = config if config is not None else ServeConfig()
+            self.config = config
+            self.registry = registry if registry is not None else get_registry()
+            self.tracer = tracer if tracer is not None else get_tracer()
+            if engine is not None and store is not None and engine.store is not store:
+                raise ValueError("engine and app must share one state store")
+            if engine is not None and store is None:
+                store = engine.store
+            self.pool = EnginePool(registry=self.registry, tracer=self.tracer)
+            # Empty labels + breaker name "model": the default tenant of a
+            # single-bundle app keeps the pre-fleet metric series names.
+            self.pool.add_tenant(
+                DEFAULT_TENANT,
+                bundle,
+                config=config,
+                labels={},
+                engine_name="model",
+                store=store,
+                engine=engine,
+                monitor=quality,
             )
-            config = config.with_overrides(**legacy)
-        self.config = config
-        self.bundle = bundle
-        self.registry = registry if registry is not None else get_registry()
-        self.tracer = tracer if tracer is not None else get_tracer()
-        self.store = (
-            store
-            if store is not None
-            else bundle.make_store(registry=self.registry)
-        )
-        self.engine = (
-            engine
-            if engine is not None
-            else bundle.make_engine(
-                store=self.store,
-                registry=self.registry,
-                tracer=self.tracer,
-                max_batch_size=config.max_batch_size,
-                max_wait_s=config.max_wait_s,
-                cache_size=config.cache_size,
-                policy=config.resilience,
-            )
-        )
-        if self.engine.store is not self.store:
-            raise ValueError("engine and app must share one state store")
-        # Drift is judged against the *training* scaler statistics that
-        # travel with the bundle — the distribution the model was fit on.
-        self.quality = (
-            quality
-            if quality is not None
-            else QualityMonitor(
-                num_nodes=self.store.num_nodes,
-                train_mean=bundle.scaler.mean_,
-                train_std=bundle.scaler.std_,
-                thresholds=config.quality,
-                registry=self.registry,
-            )
-        )
+
+    # ------------------------------------------------------------------
+    # Default-tenant aliases: the chaos soak, the load generator and the
+    # single-model tests address the app as if it held one engine.
+    # ------------------------------------------------------------------
+    def _default_name(self) -> str | None:
+        tenants = self.pool.tenants()
+        if DEFAULT_TENANT in tenants:
+            return DEFAULT_TENANT
+        if len(tenants) == 1:
+            return tenants[0]
+        return None
+
+    def _runtime(self, tenant: str):
+        return self.pool.runtime(tenant)
+
+    @property
+    def bundle(self) -> ModelBundle:
+        return self._runtime(self._default_name()).bundle
+
+    @property
+    def store(self) -> StateStore:
+        return self._runtime(self._default_name()).store
+
+    @property
+    def engine(self) -> ForecastEngine:
+        return self._runtime(self._default_name()).engine
+
+    @property
+    def quality(self) -> QualityMonitor:
+        return self._runtime(self._default_name()).monitor
 
     # ------------------------------------------------------------------
     # Endpoint bodies: return Response objects.
     # ------------------------------------------------------------------
-    def _inspect_quality(self):
-        """Refresh the quality monitor from the live window (pull-based)."""
-        return self.quality.update(self.store.window(), store=self.store)
+    def _inspect_quality(self, runtime):
+        """Refresh the tenant's quality monitor from its live window."""
+        return runtime.monitor.update(runtime.store.window(), store=runtime.store)
 
-    def _retry_after(self, error: BaseException | None = None) -> dict:
+    def _retry_after(self, runtime, error: BaseException | None = None) -> dict:
         """``Retry-After`` header for rejected/unavailable responses."""
-        after = self.engine.policy.retry_after_s
-        if isinstance(error, CircuitOpen) and self.engine.breaker is not None:
-            after = max(after, self.engine.breaker.snapshot()["open_remaining_s"])
+        engine = runtime.engine
+        after = engine.policy.retry_after_s
+        if isinstance(error, QuotaExceeded) and runtime.quota is not None:
+            after = max(after, runtime.quota.retry_after_s)
+        if isinstance(error, CircuitOpen) and engine.breaker is not None:
+            after = max(after, engine.breaker.snapshot()["open_remaining_s"])
         return {"Retry-After": str(max(1, math.ceil(after)))}
 
-    def healthz(self) -> Response:
-        report = self._inspect_quality()
-        reliability = self.engine.reliability_snapshot()
-        requests = self.registry.counter("serve/requests").value
+    def healthz(self, tenant: str) -> Response:
+        runtime = self._runtime(tenant)
+        report = self._inspect_quality(runtime)
+        engine = runtime.engine
+        reliability = engine.reliability_snapshot()
+        requests = self.registry.counter(engine._m("serve/requests")).value
         reliability["fallback_hit_rate"] = (
             reliability["degraded_total"] / requests if requests else 0.0
         )
         breaker = reliability["breaker"]
         breaker_open = breaker is not None and breaker["state"] == OPEN
-        return Response(200, {
+        body = {
             "status": "degraded" if (report.degraded or breaker_open) else "ok",
-            "model": self.bundle.model_name,
-            "num_nodes": self.bundle.num_nodes,
-            "num_features": self.bundle.num_features,
-            "input_length": self.bundle.input_length,
-            "output_length": self.bundle.output_length,
-            "warm": self.store.warm,
-            "version": self.store.version,
-            "newest_step": self.store.newest_step,
-            "observations": self.store.observations,
+            "model": runtime.bundle.model_name,
+            "num_nodes": runtime.bundle.num_nodes,
+            "num_features": runtime.bundle.num_features,
+            "input_length": runtime.bundle.input_length,
+            "output_length": runtime.bundle.output_length,
+            "warm": runtime.store.warm,
+            "version": runtime.store.version,
+            "newest_step": runtime.store.newest_step,
+            "observations": runtime.store.observations,
             "quality": report.to_json_dict(),
-            "sensors": self.store.sensor_summary(),
+            "sensors": runtime.store.sensor_summary(),
             "reliability": reliability,
-        })
+        }
+        if len(self.pool) > 1:
+            body["tenant"] = runtime.name
+            body["tenants"] = self.pool.tenants()
+        return Response(200, body)
 
     def metrics(self, as_json: bool = False) -> Response:
-        self._inspect_quality()
-        self.engine.reliability_snapshot()  # refresh breaker/fallback metrics
+        for name in self.pool.tenants():
+            runtime = self._runtime(name)
+            self._inspect_quality(runtime)
+            runtime.engine.reliability_snapshot()  # refresh breaker gauges
         if as_json:
             return Response(200, self.registry.snapshot())
         return Response(200, PlainText(
@@ -225,16 +295,39 @@ class ServeApp:
     def traces(self, limit: int | None = None) -> Response:
         return Response(200, {"traces": self.tracer.traces(limit=limit)})
 
-    def observe(self, payload: dict) -> Response:
-        if self.engine.saturated:
+    def tenants(self) -> Response:
+        return Response(200, {"tenants": self.pool.tenants_snapshot()})
+
+    def rollouts(self) -> Response:
+        return Response(200, {"rollouts": self.pool.rollouts_snapshot()})
+
+    def rollout_action(self, payload: dict) -> Response:
+        tenant = payload.get("tenant")
+        action = payload.get("action")
+        if not tenant or action not in ("rollback", "promote"):
+            return Response(400, {
+                "error": "rollout action body needs 'tenant' and 'action' "
+                "('rollback' or 'promote')"
+            })
+        if action == "rollback":
+            snapshot = self.pool.rollback_canary(
+                tenant, reason=payload.get("reason", "manual rollback via API")
+            )
+        else:
+            snapshot = self.pool.promote_canary(tenant)
+        return Response(200, {"tenant": tenant, "canary": snapshot})
+
+    def observe(self, payload: dict, tenant: str) -> Response:
+        runtime = self._runtime(tenant)
+        if runtime.engine.saturated:
             # Reject-with-backoff: while the forecast queue is drowning,
             # state churn (each accepted observation invalidates the
             # forecast cache) only deepens the hole.
-            self.registry.counter("serve/observe_rejected").inc()
+            self.registry.counter(runtime.engine._m("serve/observe_rejected")).inc()
             return Response(
                 429,
                 {"error": "server saturated; back off and retry"},
-                self._retry_after(),
+                self._retry_after(runtime),
             )
         if "step" not in payload:
             return Response(400, {"error": "observation needs an integer 'step'"})
@@ -245,31 +338,32 @@ class ServeApp:
                 return Response(
                     400, {"error": "per-sensor observation needs 'features'"}
                 )
-            accepted = self.store.observe_sensor(
-                step, int(payload["node"]), np.asarray(features, dtype=default_dtype())
+            accepted = self.pool.observe_sensor(
+                tenant, step, int(payload["node"]),
+                np.asarray(features, dtype=default_dtype()),
             )
         elif "values" in payload:
             values = np.asarray(payload["values"], dtype=default_dtype())
-            if values.ndim == 1 and self.store.num_features == 1:
+            if values.ndim == 1 and runtime.store.num_features == 1:
                 values = values[:, None]
             mask = payload.get("mask")
             if mask is not None:
                 mask = np.asarray(mask, dtype=default_dtype())
-                if mask.ndim == 1 and self.store.num_features == 1:
+                if mask.ndim == 1 and runtime.store.num_features == 1:
                     mask = mask[:, None]
-            accepted = self.store.observe(step, values, mask)
+            accepted = self.pool.observe(tenant, step, values, mask)
         else:
             return Response(
                 400, {"error": "observation needs 'values' or 'node'+'features'"}
             )
         return Response(200, {
             "accepted": accepted,
-            "version": self.store.version,
-            "newest_step": self.store.newest_step,
+            "version": runtime.store.version,
+            "newest_step": runtime.store.newest_step,
         })
 
-    def forecast(self, horizon: int | None) -> Response:
-        result = self.engine.forecast(horizon=horizon)
+    def forecast(self, horizon: int | None, tenant: str) -> Response:
+        result = self.pool.forecast(tenant, horizon=horizon)
         headers = {"X-Degraded": result.degraded} if result.degraded else {}
         return Response(200, result.to_json_dict(), headers)
 
@@ -281,6 +375,23 @@ class ServeApp:
             return fmt == "json"
         accept = (headers or {}).get("Accept", "")
         return "application/json" in accept
+
+    def _resolve_tenant(
+        self, route: str, query: dict, headers: dict | None
+    ) -> tuple[str | None, str]:
+        """(tenant, remaining route); path > header > query > default."""
+        if route == "/t" or route.startswith("/t/"):
+            parts = route.split("/", 3)  # ['', 't', tenant, rest?]
+            tenant = parts[2] if len(parts) > 2 and parts[2] else None
+            rest = "/" + parts[3] if len(parts) > 3 else "/"
+            return tenant, rest.rstrip("/") or "/"
+        header_tenant = (headers or {}).get("X-Tenant")
+        if header_tenant:
+            return header_tenant, route
+        query_tenant = query.get("tenant", [""])[0]
+        if query_tenant:
+            return query_tenant, route
+        return self._default_name(), route
 
     def handle(
         self,
@@ -301,6 +412,15 @@ class ServeApp:
                 span.status = "error"
             return response
 
+    def _parse_json(self, body: bytes | None) -> dict | Response:
+        try:
+            payload = json.loads(body or b"")
+        except json.JSONDecodeError as error:
+            return Response(400, {"error": f"invalid JSON body: {error}"})
+        if not isinstance(payload, dict):
+            return Response(400, {"error": "request body must be a JSON object"})
+        return payload
+
     def _route(
         self,
         method: str,
@@ -310,34 +430,66 @@ class ServeApp:
         headers: dict | None,
     ) -> Response:
         query = parse_qs(query_string)
+        tenant, route = self._resolve_tenant(route, query, headers)
+        runtime = None
         try:
-            if method == "GET" and route == "/healthz":
-                return self.healthz()
+            if tenant is not None:
+                try:
+                    runtime = self.pool.runtime(tenant)
+                except ConfigError:
+                    return Response(
+                        404,
+                        {
+                            "error": f"no tenant {tenant!r}",
+                            "tenants": self.pool.tenants(),
+                        },
+                    )
             if method == "GET" and route == "/metrics":
                 return self.metrics(as_json=self._wants_json(query, headers))
             if method == "GET" and route == "/traces":
                 limit = query.get("limit")
                 return self.traces(int(limit[0]) if limit else None)
+            if method == "GET" and route == "/tenants":
+                return self.tenants()
+            if method == "GET" and route == "/rollouts":
+                return self.rollouts()
+            if method == "POST" and route == "/rollouts":
+                payload = self._parse_json(body)
+                if isinstance(payload, Response):
+                    return payload
+                return self.rollout_action(payload)
+            if runtime is None:
+                return Response(
+                    404,
+                    {
+                        "error": "no default tenant; address one via "
+                        "/t/<tenant>/..., X-Tenant or ?tenant=",
+                        "tenants": self.pool.tenants(),
+                    },
+                )
+            if method == "GET" and route == "/healthz":
+                return self.healthz(tenant)
             if method == "GET" and route == "/forecast":
                 horizon = query.get("horizon")
-                return self.forecast(int(horizon[0]) if horizon else None)
+                return self.forecast(int(horizon[0]) if horizon else None, tenant)
             if method == "POST" and route == "/observe":
-                try:
-                    payload = json.loads(body or b"")
-                except json.JSONDecodeError as error:
-                    return Response(400, {"error": f"invalid JSON body: {error}"})
-                if not isinstance(payload, dict):
-                    return Response(
-                        400, {"error": "observation body must be a JSON object"}
-                    )
-                return self.observe(payload)
+                payload = self._parse_json(body)
+                if isinstance(payload, Response):
+                    return payload
+                return self.observe(payload, tenant)
             return Response(404, {"error": f"no route {method} {route}"})
         except Overloaded as error:
-            # Shed load: tell the client to back off, not to degrade.
-            return Response(429, {"error": str(error)}, self._retry_after(error))
-        # Input errors stay 400 — StateError inherits ValueError, so bad
-        # client payloads land here even though it is also a ServeError.
-        except (ValueError, KeyError, TypeError) as error:
+            # Shed load (queue saturation or quota): back off, not degrade.
+            return Response(429, {"error": str(error)}, self._retry_after(
+                runtime if runtime is not None else self._any_runtime(), error
+            ))
+        except ConfigError as error:
+            # Rollout/tenant management called with a bad argument.
+            return Response(400, {"error": str(error)})
+        # Input errors stay 400 — StateError and DataError are typed
+        # repro errors now (no stdlib bases), so they are caught by name
+        # next to the stdlib trio raised by payload parsing.
+        except (StateError, DataError, ValueError, KeyError, TypeError) as error:
             return Response(400, {"error": str(error)})
         except ServeError as error:
             # Resilience signals that survived the fallback ladder: open
@@ -347,8 +499,14 @@ class ServeApp:
             return Response(
                 503,
                 {"error": str(error), "cause": type(error).__name__},
-                self._retry_after(error),
+                self._retry_after(
+                    runtime if runtime is not None else self._any_runtime(), error
+                ),
             )
+
+    def _any_runtime(self):
+        """Fallback runtime for Retry-After hints on tenant-less errors."""
+        return self._runtime(self.pool.tenants()[0])
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -383,53 +541,46 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(self.app.handle("POST", self.path, body, dict(self.headers)))
 
 
-def _resolve_bind(
-    app: ServeApp, host: str | None, port: int | None
-) -> tuple[str, int]:
-    """Bind address from the app's config unless legacy args override it."""
+def _reject_bind_args(host, port) -> None:
     if host is not None or port is not None:
-        warnings.warn(
-            "passing host/port to make_server/run_server is deprecated; "
-            "set them on ServeConfig instead",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            "make_server/run_server no longer accept host/port arguments "
+            "(removed in this release); set them on the serve config: "
+            "ServeApp(bundle, config=ServeConfig(host=..., port=...))"
         )
-    resolved_host = host if host is not None else app.config.host
-    resolved_port = port if port is not None else app.config.port
-    return resolved_host, resolved_port
 
 
 def make_server(
-    app: ServeApp, host: str | None = None, port: int | None = None
+    app: ServeApp, host: None = None, port: None = None
 ) -> ThreadingHTTPServer:
     """Bind a threading HTTP server for ``app``.
 
-    The bind address comes from ``app.config`` (``port=0`` = ephemeral);
-    explicit ``host``/``port`` arguments still win, with a
-    ``DeprecationWarning``. The caller owns the lifecycle:
-    ``serve_forever()`` to block, ``shutdown()`` + ``server_close()`` to
-    stop. The engine's batching dispatcher is started here so concurrent
-    handler threads fuse.
+    The bind address comes from ``app.config`` (``port=0`` = ephemeral).
+    The caller owns the lifecycle: ``serve_forever()`` to block,
+    ``shutdown()`` + ``server_close()`` to stop. The pool is started
+    here so every engine's batching dispatcher and the shadow worker
+    run before the first request.
     """
-    bind_host, bind_port = _resolve_bind(app, host, port)
+    _reject_bind_args(host, port)
     handler = type("BoundHandler", (_Handler,), {"app": app})
-    server = ThreadingHTTPServer((bind_host, bind_port), handler)
-    app.engine.start()
+    server = ThreadingHTTPServer((app.config.host, app.config.port), handler)
+    app.pool.start()
     return server
 
 
 def run_server(
     app: ServeApp,
-    host: str | None = None,
-    port: int | None = None,
+    host: None = None,
+    port: None = None,
     ready_event: threading.Event | None = None,
 ) -> None:
-    """Blocking entry point used by ``repro serve``.
+    """Blocking entry point used by ``repro serve`` and ``repro fleet``.
 
     Prints the bound address (machine-parseable first line) before
     serving; ``ready_event`` is set once the socket is listening.
     """
-    server = make_server(app, host=host, port=port)
+    _reject_bind_args(host, port)
+    server = make_server(app)
     bound_host, bound_port = server.server_address[:2]
     print(f"serving on http://{bound_host}:{bound_port}", flush=True)
     if ready_event is not None:
@@ -441,4 +592,4 @@ def run_server(
     finally:
         server.shutdown()
         server.server_close()
-        app.engine.stop()
+        app.pool.stop()

@@ -41,6 +41,7 @@ __all__ = [
     "SoakReport",
     "make_chaos_app",
     "run_chaos_soak",
+    "run_fleet_smoke",
 ]
 
 
@@ -390,3 +391,171 @@ def run_chaos_soak(
             "shed": count("serve/shed"),
         },
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet smoke
+# ----------------------------------------------------------------------
+def run_fleet_smoke(
+    bundle_a: ModelBundle,
+    bundle_b: ModelBundle,
+    rounds: int = 120,
+    seed: int = 0,
+    value_scale: float = 60.0,
+    registry: MetricRegistry | None = None,
+) -> dict:
+    """End-to-end fleet exercise: two tenants, shadow, canary, quota.
+
+    Boots a two-tenant pool (``alpha`` on ``bundle_a``, ``beta`` on
+    ``bundle_b``) behind the full :class:`~repro.serve.http.ServeApp`
+    request path and checks the rollout machinery in one pass:
+
+    1. a shadow of ``bundle_b`` mirrors all of ``alpha``'s traffic and
+       must record divergence comparisons without touching live answers;
+    2. a canary of ``bundle_a`` on ``beta`` must **promote** on clean
+       traffic (bumping the tenant version);
+    3. a canary poisoned by a seeded :class:`~repro.reliability.chaos.
+       FaultPlan` on ``alpha`` must **roll back** automatically;
+    4. a quota-capped third tenant must get a 429 with ``Retry-After``;
+    5. ``/metrics`` must expose per-tenant ``fleet_*`` series.
+
+    Returns a JSON-ready report; ``report["passed"]`` gates CI.
+    """
+    from .config import CanaryConfig, ShadowConfig
+    from .fleet import EnginePool
+    from .http import ServeApp
+
+    registry = registry if registry is not None else MetricRegistry()
+    pool = EnginePool(registry=registry)
+    pool.add_tenant("alpha", bundle_a, bundle_ref="bundle_a")
+    pool.add_tenant("beta", bundle_b, bundle_ref="bundle_b")
+    pool.add_tenant(
+        "gamma", bundle_a, bundle_ref="bundle_a",
+        quota_rps=0.001, quota_burst=3.0,
+    )
+    app = ServeApp(pool=pool)
+
+    rng = np.random.default_rng(seed)
+    next_step: dict[str, int] = {}
+
+    def warm(tenant: str) -> None:
+        runtime = pool.runtime(tenant)
+        store = runtime.store
+        for offset in range(store.input_length):
+            values = rng.normal(
+                value_scale, 5.0, size=(store.num_nodes, store.num_features)
+            )
+            pool.observe(tenant, offset, values)
+        next_step[tenant] = store.newest_step + 1
+
+    def drive(tenant: str, n: int) -> dict:
+        counts = {"ok": 0, "rejected": 0, "server_errors": 0, "other": 0}
+        runtime = pool.runtime(tenant)
+        retry_after = None
+        for _ in range(n):
+            step = next_step[tenant]
+            next_step[tenant] += 1
+            values = rng.normal(
+                value_scale, 5.0,
+                size=(runtime.store.num_nodes, runtime.store.num_features),
+            )
+            body = json.dumps({"step": step, "values": values.tolist()}).encode()
+            app.handle("POST", f"/t/{tenant}/observe", body)
+            response = app.handle("GET", f"/t/{tenant}/forecast", None)
+            if response.status == 200:
+                counts["ok"] += 1
+            elif response.status == 429:
+                counts["rejected"] += 1
+                retry_after = response.headers.get("Retry-After")
+            elif response.status >= 500:
+                counts["server_errors"] += 1
+            else:
+                counts["other"] += 1
+        counts["retry_after"] = retry_after
+        return counts
+
+    report: dict = {"rounds": rounds, "seed": seed}
+    with pool:
+        for tenant in ("alpha", "beta", "gamma"):
+            warm(tenant)
+
+        # 1+2: shadow on alpha while beta's clean canary promotes.
+        pool.start_shadow(
+            "alpha", ShadowConfig(bundle="bundle_b", mirror_fraction=1.0),
+            bundle=bundle_b,
+        )
+        pool.start_canary(
+            "beta",
+            CanaryConfig(
+                bundle="bundle_a", stages=(0.5, 1.0), stage_requests=5,
+                max_failure_ratio=0.5, min_failure_samples=10, seed=seed,
+            ),
+            bundle=bundle_a,
+        )
+        report["alpha_traffic"] = drive("alpha", rounds)
+        report["beta_traffic"] = drive("beta", rounds)
+        pool.drain_shadow()
+        report["shadow"] = pool.stop_shadow("alpha")
+        beta = pool.runtime("beta")
+        report["canary_clean"] = (
+            beta.canary.snapshot() if beta.canary is not None else None
+        )
+        report["beta_version"] = beta.version
+
+        # 3: chaos canary on alpha must roll back, not fail live traffic.
+        plan = FaultPlan(seed=seed, error_rate=0.7, corrupt_rate=0.3)
+        injector = plan.injector()
+        pool.start_canary(
+            "alpha",
+            CanaryConfig(
+                bundle="bundle_b", stages=(0.5, 1.0), stage_requests=50,
+                max_failure_ratio=0.2, min_failure_samples=5, seed=seed,
+            ),
+            bundle=bundle_b,
+            model=ChaosModel(bundle_b.model, injector),
+        )
+        report["alpha_chaos_traffic"] = drive("alpha", rounds)
+        alpha = pool.runtime("alpha")
+        report["canary_chaos"] = (
+            alpha.canary.snapshot() if alpha.canary is not None else None
+        )
+        report["chaos_injected"] = injector.snapshot()
+
+        # 4: quota exhaustion returns 429 + Retry-After.
+        report["gamma_traffic"] = drive("gamma", 8)
+
+        # 5: per-tenant series in the exposition.
+        metrics = app.handle("GET", "/metrics", None).body.body
+        needed_series = [
+            'repro_fleet_requests_total{tenant="alpha"}',
+            'repro_fleet_requests_total{tenant="beta"}',
+            'repro_fleet_shadow_mirrored_total{tenant="alpha"}',
+            'repro_fleet_rollbacks_total{tenant="alpha"}',
+            'repro_fleet_promotions_total{tenant="beta"}',
+            'repro_fleet_quota_rejected_total{tenant="gamma"}',
+        ]
+        report["missing_series"] = [s for s in needed_series if s not in metrics]
+
+    checks = {
+        "shadow_compared": report["shadow"]["compared"] > 0,
+        "canary_promoted": (
+            report["canary_clean"] is not None
+            and report["canary_clean"]["state"] == "promoted"
+            and report["beta_version"] > 1
+        ),
+        "canary_rolled_back": (
+            report["canary_chaos"] is not None
+            and report["canary_chaos"]["state"] == "rolled_back"
+        ),
+        "live_traffic_survived_chaos": (
+            report["alpha_chaos_traffic"]["server_errors"] == 0
+        ),
+        "quota_429_with_retry_after": (
+            report["gamma_traffic"]["rejected"] > 0
+            and report["gamma_traffic"]["retry_after"] is not None
+        ),
+        "per_tenant_metrics": not report["missing_series"],
+    }
+    report["checks"] = checks
+    report["passed"] = all(checks.values())
+    return report

@@ -34,7 +34,7 @@ from .callbacks import (
 )
 from .profiler import OpProfiler, OpStats, active_profiler, profile, profile_report
 from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
-from .prometheus import render_prometheus
+from .prometheus import escape_label_value, label_block, render_prometheus
 from .quality import QualityMonitor, QualityReport, QualityThresholds
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -77,6 +77,8 @@ __all__ = [
     "QualityReport",
     "QualityThresholds",
     "render_prometheus",
+    "escape_label_value",
+    "label_block",
     "PROMETHEUS_CONTENT_TYPE",
     "OpProfiler",
     "OpStats",

@@ -29,13 +29,56 @@ import re
 
 from .registry import MetricRegistry
 
-__all__ = ["CONTENT_TYPE", "render_prometheus"]
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_label_value",
+    "label_block",
+    "render_prometheus",
+]
 
 #: the Content-Type Prometheus scrapers expect for text format 0.0.4
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
-_LABELS = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)=\"([^\"\\]*)\"$")
+# A label value may contain backslash-escaped sequences (\\, \", \n) but
+# never a raw quote or backslash — those would corrupt the exposition.
+_LABELS = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)=\"((?:[^\"\\]|\\.)*)\"$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape ``value`` for use inside a ``label="..."`` block.
+
+    Implements the text-format 0.0.4 escaping rules: backslash, double
+    quote and newline are the only characters that can corrupt the
+    exposition, and each has a defined escape. Everything else (UTF-8
+    included) passes through, so a hostile tenant name like
+    ``evil"} bad 1`` stays one well-formed label value.
+    """
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def label_block(labels: dict[str, str]) -> str:
+    """Render ``labels`` as a ``{k="v",...}`` block with escaped values.
+
+    Keys are emitted in sorted order so metric names are deterministic
+    (the registry treats the rendered name as the identity of a series).
+    Label *names* cannot be escaped in the format, so an invalid name
+    raises rather than silently corrupting the exposition.
+    """
+    if not labels:
+        return ""
+    pairs = []
+    for key in sorted(labels):
+        if not _LABEL_NAME.match(key):
+            raise ValueError(f"invalid Prometheus label name {key!r}")
+        pairs.append(f'{key}="{escape_label_value(labels[key])}"')
+    return "{" + ",".join(pairs) + "}"
 
 
 def _split_labels(name: str) -> tuple[str, str]:
@@ -45,12 +88,38 @@ def _split_labels(name: str) -> tuple[str, str]:
         return name, ""
     base, block = name[:brace], name[brace + 1 : -1]
     pairs = []
-    for part in block.split(","):
+    for part in _split_label_pairs(block):
         match = _LABELS.match(part.strip())
         if match is None:  # not a well-formed label block: sanitize whole name
             return name, ""
         pairs.append(f'{match.group(1)}="{match.group(2)}"')
     return base, "{" + ",".join(pairs) + "}"
+
+
+def _split_label_pairs(block: str) -> list[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in block:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\" and in_quotes:
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    parts.append("".join(current))
+    return parts
 
 
 def _metric_name(name: str, namespace: str) -> tuple[str, str]:

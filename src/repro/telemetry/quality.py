@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .prometheus import label_block
 from .registry import MetricRegistry, get_registry
 
 __all__ = ["QualityThresholds", "QualityReport", "QualityMonitor"]
@@ -99,6 +100,10 @@ class QualityMonitor:
         Trip levels for :meth:`verdict`.
     registry:
         Metric registry the gauges land in (default: process registry).
+    labels:
+        Extra Prometheus labels stamped on every published series (the
+        fleet passes ``{"tenant": name}``); values are escaped. Empty
+        keeps the original unlabelled/``node``-only series names.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class QualityMonitor:
         alpha: float = 0.3,
         thresholds: QualityThresholds | None = None,
         registry: MetricRegistry | None = None,
+        labels: dict[str, str] | None = None,
     ):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -118,6 +124,7 @@ class QualityMonitor:
         self.alpha = alpha
         self.thresholds = thresholds or QualityThresholds()
         self.registry = registry if registry is not None else get_registry()
+        self.labels = dict(labels) if labels else {}
         self.train_mean = None if train_mean is None else np.asarray(train_mean, dtype=np.float64)
         self.train_std = None if train_std is None else np.asarray(train_std, dtype=np.float64)
         self._ewma = np.zeros(num_nodes)
@@ -214,23 +221,30 @@ class QualityMonitor:
                 )
         return bool(reasons), reasons
 
+    def _name(self, base: str, **extra: str) -> str:
+        return base + label_block({**self.labels, **extra})
+
     def _publish(self, report: QualityReport) -> None:
         reg = self.registry
         for node in range(self.num_nodes):
-            label = f'{{node="{node}"}}'
-            reg.gauge(f"quality/missing_rate{label}").set(report.missing_rate_ewma[node])
-            reg.gauge(f"quality/staleness_steps{label}").set(report.staleness_steps[node])
-            reg.gauge(f"quality/drift_z{label}").set(report.drift_z[node])
-        reg.gauge("quality/missing_rate_mean").set(
+            label = self._name("quality/missing_rate", node=str(node))
+            reg.gauge(label).set(report.missing_rate_ewma[node])
+            reg.gauge(self._name("quality/staleness_steps", node=str(node))).set(
+                report.staleness_steps[node]
+            )
+            reg.gauge(self._name("quality/drift_z", node=str(node))).set(
+                report.drift_z[node]
+            )
+        reg.gauge(self._name("quality/missing_rate_mean")).set(
             float(np.mean(report.missing_rate_ewma))
         )
-        reg.gauge("quality/staleness_steps_max").set(
+        reg.gauge(self._name("quality/staleness_steps_max")).set(
             float(np.max(report.staleness_steps))
         )
-        reg.gauge("quality/drift_z_max").set(float(np.max(report.drift_z)))
-        reg.gauge("quality/degraded").set(1.0 if report.degraded else 0.0)
-        reg.gauge("quality/stale_dropped").set(report.stale_dropped)
-        reg.gauge("quality/cold_resets").set(report.cold_resets)
+        reg.gauge(self._name("quality/drift_z_max")).set(float(np.max(report.drift_z)))
+        reg.gauge(self._name("quality/degraded")).set(1.0 if report.degraded else 0.0)
+        reg.gauge(self._name("quality/stale_dropped")).set(report.stale_dropped)
+        reg.gauge(self._name("quality/cold_resets")).set(report.cold_resets)
 
     # ------------------------------------------------------------------
     @property

@@ -14,31 +14,34 @@ does no extra work beyond what the history records always cost.
 from __future__ import annotations
 
 import time
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..autodiff import no_grad
+from ..errors import ConfigError
 from ..datasets import BatchLoader, WindowSet
 from ..nn import JointLoss
 from ..optim import Adam, EarlyStopping, clip_grad_norm
 from ..models.base import ForecastOutput, NeuralForecaster
-from ..telemetry.callbacks import Callback, CallbackList, EpochLogger
+from ..telemetry.callbacks import Callback, CallbackList
 from .metrics import masked_mae, masked_mape, masked_rmse
 
 __all__ = ["TrainerConfig", "TrainingHistory", "EvalReport", "Trainer"]
+
+
+#: sentinel distinguishing "not passed" from any user value of ``verbose``
+_VERBOSE_REMOVED = object()
 
 
 @dataclass
 class TrainerConfig:
     """Hyper-parameters for a training run (defaults per the paper).
 
-    ``verbose`` is deprecated: pass ``callbacks=[EpochLogger()]`` to
-    :meth:`Trainer.fit` instead. When set, an implicit
-    :class:`~repro.telemetry.EpochLogger` is appended and a
-    ``DeprecationWarning`` is emitted at fit time.
+    ``verbose`` was removed in this release: pass
+    ``callbacks=[EpochLogger()]`` to :meth:`Trainer.fit` instead.
+    Setting it raises :class:`~repro.errors.ConfigError`.
     """
 
     learning_rate: float = 1e-3
@@ -50,9 +53,14 @@ class TrainerConfig:
     weight_decay: float = 0.0
     shuffle: bool = True
     seed: int = 0
-    verbose: bool = False
+    verbose: InitVar[object] = _VERBOSE_REMOVED
 
-    def __post_init__(self):
+    def __post_init__(self, verbose):
+        if verbose is not _VERBOSE_REMOVED:
+            raise ConfigError(
+                "TrainerConfig.verbose was removed; pass "
+                "Trainer.fit(..., callbacks=[EpochLogger()]) to log epochs"
+            )
         if self.max_epochs < 1:
             raise ValueError(f"max_epochs must be >= 1, got {self.max_epochs}")
 
@@ -152,17 +160,7 @@ class Trainer:
     def _resolve_callbacks(
         self, callbacks: Sequence[Callback] | None
     ) -> CallbackList:
-        cbs = list(callbacks or [])
-        if self.config.verbose:
-            warnings.warn(
-                "TrainerConfig.verbose is deprecated; pass "
-                "Trainer.fit(..., callbacks=[EpochLogger()]) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            if not any(isinstance(cb, EpochLogger) for cb in cbs):
-                cbs.append(EpochLogger())
-        return CallbackList(cbs)
+        return CallbackList(list(callbacks or []))
 
     def fit(
         self,

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import DataError
 from repro.datasets import (
     load_csv_dataset,
     load_distances_csv,
@@ -77,13 +78,13 @@ class TestLoadReadings:
     def test_ragged_row_rejected(self, tmp_path):
         path = tmp_path / "ragged.csv"
         path.write_text("t,a,b\nx,1.0\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             load_readings_csv(path)
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("")
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             load_readings_csv(path)
 
 
@@ -103,13 +104,13 @@ class TestLoadDistances:
         assert dist[0, 2] > 10.0
 
     def test_edge_list_unknown_sensor(self, edge_distances_file):
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             load_distances_csv(edge_distances_file, sensor_names=["s1", "s2"])
 
     def test_nonsquare_dense_rejected(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("0,1\n1,0\n2,3\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             load_distances_csv(path)
 
 
@@ -130,7 +131,7 @@ class TestLoadDataset:
     def test_sensor_count_mismatch(self, readings_file, tmp_path):
         path = tmp_path / "small.csv"
         path.write_text("0,1\n1,0\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             load_csv_dataset(readings_file, path)
 
     def test_pipeline_compatibility(self, tmp_path):

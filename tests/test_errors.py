@@ -14,6 +14,7 @@ from repro.errors import (
     InjectedFault,
     MissingParameterError,
     Overloaded,
+    QuotaExceeded,
     ReproError,
     ServeError,
     ShapeMismatchError,
@@ -27,7 +28,7 @@ class TestHierarchy:
             DataError, CheckpointError, MissingParameterError,
             ShapeMismatchError, BundleFormatError, BundleModelError,
             ConfigError, ServeError, StateError, DeadlineExceeded,
-            CircuitOpen, Overloaded, InjectedFault,
+            CircuitOpen, Overloaded, QuotaExceeded, InjectedFault,
         ):
             assert issubclass(cls, ReproError)
 
@@ -35,34 +36,37 @@ class TestHierarchy:
         with pytest.raises(ReproError):
             raise StateError("boom")
 
-    def test_old_bases_still_catch(self):
-        """Pre-hierarchy callers used stdlib classes; they keep working."""
-        with pytest.raises(ValueError):
-            raise DataError("bad csv")
-        with pytest.raises(ValueError):
-            raise StateError("bad shape")
-        with pytest.raises(KeyError):
-            raise MissingParameterError("missing 'w'")
-        with pytest.raises(ValueError):
-            raise ShapeMismatchError("shape off")
-        with pytest.raises(TimeoutError):
-            raise DeadlineExceeded("too slow")
-        with pytest.raises(RuntimeError):
-            raise CircuitOpen("open")
-        with pytest.raises(RuntimeError):
-            raise Overloaded("full")
+    def test_stdlib_bases_are_gone(self):
+        """The one-release stdlib multiple inheritance was removed:
+        pre-hierarchy ``except ValueError``-style callers must migrate
+        to the typed classes."""
+        assert not issubclass(DataError, ValueError)
+        assert not issubclass(StateError, ValueError)
+        assert not issubclass(ConfigError, ValueError)
+        assert not issubclass(ShapeMismatchError, ValueError)
+        assert not issubclass(BundleFormatError, ValueError)
+        assert not issubclass(MissingParameterError, KeyError)
+        assert not issubclass(BundleModelError, KeyError)
+        assert not issubclass(DeadlineExceeded, TimeoutError)
+        assert not issubclass(CircuitOpen, RuntimeError)
+        assert not issubclass(Overloaded, RuntimeError)
+        assert not issubclass(InjectedFault, RuntimeError)
 
-    def test_keyerror_subclasses_str_cleanly(self):
-        """KeyError.__str__ repr-quotes; ours must not garble messages."""
+    def test_messages_render_cleanly(self):
+        """Without the KeyError base there is no repr-quoting to fight."""
         assert str(MissingParameterError("missing parameter 'w'")) == (
             "missing parameter 'w'"
         )
         assert str(BundleModelError("unknown model 'X'")) == "unknown model 'X'"
 
-    def test_state_error_is_serve_error_and_value_error(self):
+    def test_state_error_is_serve_error_only(self):
         error = StateError("x")
         assert isinstance(error, ServeError)
-        assert isinstance(error, ValueError)
+        assert not isinstance(error, ValueError)
+
+    def test_quota_exceeded_is_overloaded(self):
+        assert issubclass(QuotaExceeded, Overloaded)
+        assert issubclass(QuotaExceeded, ServeError)
 
 
 class TestMigratedRaises:
@@ -72,7 +76,7 @@ class TestMigratedRaises:
         layer = Linear(2, 3)
         with pytest.raises(MissingParameterError):
             layer.load_state_dict({})
-        with pytest.raises(KeyError):  # one-release compat
+        with pytest.raises(CheckpointError):
             layer.load_state_dict({})
 
     def test_module_load_state_dict_shape(self):
@@ -85,13 +89,20 @@ class TestMigratedRaises:
         with pytest.raises(ShapeMismatchError):
             layer.load_state_dict(state)
 
+    def test_checkpoint_load_raises_typed_errors(self, tmp_path):
+        from repro.nn import Linear, load_checkpoint, save_checkpoint
+
+        path = save_checkpoint(Linear(2, 3), str(tmp_path / "ckpt"))
+        with pytest.raises(ShapeMismatchError):
+            load_checkpoint(Linear(4, 5), path)
+
     def test_store_rejects_bad_shape_as_state_error(self):
         from repro.serve import StateStore
 
         store = StateStore(num_nodes=2, num_features=1, input_length=4)
         with pytest.raises(StateError):
             store.observe(0, np.zeros((3, 1)))
-        with pytest.raises(ValueError):  # one-release compat
+        with pytest.raises(ReproError):
             store.observe(0, np.zeros((3, 1)))
 
     def test_csv_loader_raises_data_error(self, tmp_path):
@@ -101,5 +112,5 @@ class TestMigratedRaises:
         path.write_text("\n")
         with pytest.raises(DataError):
             load_readings_csv(str(path))
-        with pytest.raises(ValueError):  # one-release compat
+        with pytest.raises(ReproError):
             load_readings_csv(str(path))

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autodiff import Tensor
+from repro.errors import MissingParameterError, ShapeMismatchError
 from repro.nn import (
     MLP,
     Dropout,
@@ -70,14 +71,14 @@ class TestModuleMechanics:
 
     def test_load_state_dict_missing_key(self):
         layer = Linear(2, 2, rng=np.random.default_rng(0))
-        with pytest.raises(KeyError):
+        with pytest.raises(MissingParameterError):
             layer.load_state_dict({})
 
     def test_load_state_dict_shape_mismatch(self):
         layer = Linear(2, 2, rng=np.random.default_rng(0))
         state = layer.state_dict()
         state["weight"] = np.zeros((3, 3))
-        with pytest.raises(ValueError):
+        with pytest.raises(ShapeMismatchError):
             layer.load_state_dict(state)
 
     def test_state_dict_is_a_copy(self):

@@ -110,7 +110,9 @@ class TestStateMachine:
         with breaker.protect("forward"):
             pass
         for _ in range(4):
-            with pytest.raises(RuntimeError):
+            # once enough failures accumulate the breaker itself starts
+            # rejecting at __enter__ with CircuitOpen
+            with pytest.raises((RuntimeError, CircuitOpen)):
                 with breaker.protect("forward"):
                     raise RuntimeError("down")
         with pytest.raises(CircuitOpen):

@@ -43,13 +43,14 @@ class TestDeadline:
         assert "the forward" in str(excinfo.value)
         assert "1.000s" in str(excinfo.value)
 
-    def test_deadline_exceeded_is_timeout_and_serve_error(self):
+    def test_deadline_exceeded_is_serve_error_not_timeout(self):
         clock = FakeClock()
         deadline = Deadline(0.1, clock=clock)
         clock.advance(1.0)
-        for compat in (TimeoutError, ServeError, ReproError):
-            with pytest.raises(compat):
+        for typed in (ServeError, ReproError):
+            with pytest.raises(typed):
                 deadline.check()
+        assert not issubclass(DeadlineExceeded, TimeoutError)
 
     def test_clamp_takes_the_tighter_bound(self):
         clock = FakeClock()

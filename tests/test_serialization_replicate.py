@@ -3,6 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.errors import (
+    CheckpointError,
+    MissingParameterError,
+    ShapeMismatchError,
+)
 from repro.experiments import (
     DataConfig,
     ModelConfig,
@@ -58,11 +63,11 @@ class TestCheckpointing:
 
         path = tmp_path / "w.npz"
         save_checkpoint(Wrap(small), path)
-        with pytest.raises(ValueError):
+        with pytest.raises(ShapeMismatchError):
             load_checkpoint(Wrap(big), path)
 
     def test_empty_model_rejected(self, tmp_path):
-        with pytest.raises(ValueError):
+        with pytest.raises(CheckpointError):
             save_checkpoint(Module(), tmp_path / "empty.npz")
 
     def test_suffixless_path_round_trips(self, tmp_path):
@@ -98,7 +103,7 @@ class TestCheckpointing:
                 self.second = Linear(2, 2, rng=np.random.default_rng(1))
 
         path = save_checkpoint(Small(), tmp_path / "small")
-        with pytest.raises(KeyError) as excinfo:
+        with pytest.raises(MissingParameterError) as excinfo:
             load_checkpoint(Big(), path)
         message = str(excinfo.value)
         assert "second" in message  # the offending parameter, by name
@@ -111,7 +116,7 @@ class TestCheckpointing:
                 self.layer = Linear(size, size, rng=np.random.default_rng(0))
 
         path = save_checkpoint(Wrap(2), tmp_path / "w")
-        with pytest.raises(ValueError) as excinfo:
+        with pytest.raises(ShapeMismatchError) as excinfo:
             load_checkpoint(Wrap(3), path)
         message = str(excinfo.value)
         assert "layer." in message

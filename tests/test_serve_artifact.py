@@ -5,6 +5,12 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import (
+    BundleFormatError,
+    BundleModelError,
+    MissingParameterError,
+    ShapeMismatchError,
+)
 from repro.experiments import build_model
 from repro.serve import FORMAT_VERSION, export_bundle, load_bundle
 from repro.serve.artifact import _bundle_paths
@@ -89,7 +95,7 @@ class TestRoundTrip:
 class TestValidation:
     def test_unknown_model_rejected_on_export(self, tiny_ctx, tmp_path):
         model = build_model("FC-LSTM", tiny_ctx)
-        with pytest.raises(KeyError, match="unknown model"):
+        with pytest.raises(BundleModelError, match="unknown model"):
             export_bundle(model, "NOT-A-MODEL", tiny_ctx, str(tmp_path / "x"))
 
     def test_format_version_checked(self, fc_lstm_bundle):
@@ -98,7 +104,7 @@ class TestValidation:
         header["format_version"] = FORMAT_VERSION + 1
         with open(base + ".json", "w") as handle:
             json.dump(header, handle)
-        with pytest.raises(ValueError, match="format version"):
+        with pytest.raises(BundleFormatError, match="format version"):
             load_bundle(base)
 
     def test_missing_parameter_named(self, fc_lstm_bundle):
@@ -108,7 +114,7 @@ class TestValidation:
         dropped = next(n for n in arrays if n.startswith("param/"))
         del arrays[dropped]
         np.savez(base + ".npz", **arrays)
-        with pytest.raises(KeyError, match=dropped[len("param/"):]):
+        with pytest.raises(MissingParameterError, match=dropped[len("param/"):]):
             load_bundle(base)
 
     def test_shape_mismatch_named(self, fc_lstm_bundle):
@@ -118,7 +124,7 @@ class TestValidation:
         victim = next(n for n in arrays if n.startswith("param/"))
         arrays[victim] = np.zeros(arrays[victim].shape + (2,))
         np.savez(base + ".npz", **arrays)
-        with pytest.raises(ValueError, match="shape"):
+        with pytest.raises(ShapeMismatchError, match="shape"):
             load_bundle(base)
 
 

@@ -27,11 +27,15 @@ class TestValidation:
         with pytest.raises(ConfigError):
             ServeConfig(resilience="nope")
 
-    def test_config_error_is_value_error_and_repro_error(self):
-        with pytest.raises(ValueError):
+    def test_config_error_is_repro_error_only(self):
+        """The stdlib ``ValueError`` base was removed with the other
+        transitional shims; callers catch :class:`ConfigError` (or
+        :class:`ReproError`)."""
+        with pytest.raises(ConfigError):
             ServeConfig(port=-1)
         with pytest.raises(ReproError):
             ServeConfig(port=-1)
+        assert not issubclass(ConfigError, ValueError)
 
     def test_nested_policy_validated(self):
         with pytest.raises(ConfigError):
@@ -105,7 +109,10 @@ class TestFromArgs:
         assert config.resilience.max_queue_depth == 32
 
 
-class TestDeprecationShims:
+class TestRemovedShims:
+    """The PR-5 deprecation shims are gone: each former warning is now a
+    hard error whose message names the replacement."""
+
     @pytest.fixture()
     def app_bundle(self, tiny_ctx, tmp_path):
         from repro.experiments import build_model
@@ -116,18 +123,15 @@ class TestDeprecationShims:
         export_bundle(model, "FC-LSTM-I", tiny_ctx, base)
         return load_bundle(base)
 
-    def test_legacy_kwargs_warn_once_and_apply(self, app_bundle):
+    def test_legacy_engine_kwargs_raise_with_migration_hint(self, app_bundle):
         from repro.serve import ServeApp
         from repro.telemetry import MetricRegistry
 
-        with pytest.warns(DeprecationWarning, match="ServeConfig"):
-            app = ServeApp(
+        with pytest.raises(TypeError, match="ServeConfig"):
+            ServeApp(
                 app_bundle, registry=MetricRegistry(),
                 max_batch_size=2, cache_size=16,
             )
-        assert app.config.max_batch_size == 2
-        assert app.config.cache_size == 16
-        assert app.engine.max_batch_size == 2
 
     def test_unknown_kwargs_still_type_error(self, app_bundle):
         from repro.serve import ServeApp
@@ -147,25 +151,39 @@ class TestDeprecationShims:
         assert app.engine.max_batch_size == 3
         assert app.engine.policy.max_queue_depth == 7
 
-    def test_make_server_host_port_args_warn(self, app_bundle):
+    def test_make_server_host_port_args_raise(self, app_bundle):
         from repro.serve import ServeApp, make_server
         from repro.telemetry import MetricRegistry
 
         app = ServeApp(app_bundle, registry=MetricRegistry())
-        with pytest.warns(DeprecationWarning, match="ServeConfig"):
-            server = make_server(app, host="127.0.0.1", port=0)
-        server.server_close()
-        app.engine.stop()
+        with pytest.raises(TypeError, match="host/port"):
+            make_server(app, host="127.0.0.1", port=0)
 
-    def test_make_server_from_config_does_not_warn(self, app_bundle):
-        import warnings
+    def test_run_server_host_port_args_raise(self, app_bundle):
+        from repro.serve import ServeApp, run_server
+        from repro.telemetry import MetricRegistry
 
+        app = ServeApp(app_bundle, registry=MetricRegistry())
+        with pytest.raises(TypeError, match="ServeConfig"):
+            run_server(app, port=8787)
+
+    def test_make_server_binds_from_config(self, app_bundle):
         from repro.serve import ServeApp, make_server
         from repro.telemetry import MetricRegistry
 
         app = ServeApp(app_bundle, registry=MetricRegistry())
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            server = make_server(app)
-        server.server_close()
-        app.engine.stop()
+        server = make_server(app)
+        try:
+            assert server.server_address[0] == app.config.host
+        finally:
+            server.server_close()
+            app.pool.stop()
+
+    def test_trainer_verbose_removed(self):
+        from repro.training import TrainerConfig
+
+        with pytest.raises(ConfigError, match="verbose was removed"):
+            TrainerConfig(verbose=True)
+        with pytest.raises(ConfigError, match="EpochLogger"):
+            TrainerConfig(verbose=False)
+        assert "verbose" not in TrainerConfig().__dict__

@@ -53,39 +53,42 @@ class TestRouting:
     """App-level dispatch without a socket."""
 
     def test_unknown_route_404(self, app):
-        status, payload = app.handle("GET", "/nope", None)
-        assert status == 404 and "no route" in payload["error"]
+        response = app.handle("GET", "/nope", None)
+        assert response.status == 404 and "no route" in response.body["error"]
 
     def test_bad_json_400(self, app):
-        status, payload = app.handle("POST", "/observe", b"{not json")
-        assert status == 400 and "invalid JSON" in payload["error"]
+        response = app.handle("POST", "/observe", b"{not json")
+        assert response.status == 400
+        assert "invalid JSON" in response.body["error"]
 
     def test_non_object_body_400(self, app):
-        status, payload = app.handle("POST", "/observe", b"[1, 2]")
-        assert status == 400 and "JSON object" in payload["error"]
+        response = app.handle("POST", "/observe", b"[1, 2]")
+        assert response.status == 400
+        assert "JSON object" in response.body["error"]
 
     def test_observation_without_step_400(self, app):
-        status, payload = app.handle(
+        response = app.handle(
             "POST", "/observe", json.dumps({"values": [[1.0]]}).encode()
         )
-        assert status == 400 and "step" in payload["error"]
+        assert response.status == 400 and "step" in response.body["error"]
 
     def test_observation_without_values_400(self, app):
-        status, payload = app.handle(
+        response = app.handle(
             "POST", "/observe", json.dumps({"step": 0}).encode()
         )
-        assert status == 400 and "values" in payload["error"]
+        assert response.status == 400 and "values" in response.body["error"]
 
     def test_wrong_shape_400_not_crash(self, app):
-        status, payload = app.handle(
+        response = app.handle(
             "POST", "/observe",
             json.dumps({"step": 0, "values": [[1.0, 2.0]]}).encode(),
         )
-        assert status == 400 and "values must be" in payload["error"]
+        assert response.status == 400
+        assert "values must be" in response.body["error"]
 
     def test_bad_horizon_400(self, app):
-        status, payload = app.handle("GET", "/forecast?horizon=999", None)
-        assert status == 400 and "horizon" in payload["error"]
+        response = app.handle("GET", "/forecast?horizon=999", None)
+        assert response.status == 400 and "horizon" in response.body["error"]
 
 
 class TestEndpoints:

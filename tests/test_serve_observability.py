@@ -79,35 +79,34 @@ class TestMetricsContentNegotiation:
     def test_format_json_returns_legacy_snapshot(self, bundle):
         app = _traced_app(bundle)
         app.handle("GET", "/forecast", None)
-        status, payload = app.handle("GET", "/metrics?format=json", None)
-        assert status == 200
-        assert isinstance(payload, dict)
-        assert payload["counters"]["serve/requests"] == 1
+        response = app.handle("GET", "/metrics?format=json", None)
+        assert response.status == 200
+        assert isinstance(response.body, dict)
+        assert response.body["counters"]["serve/requests"] == 1
 
     def test_accept_header_negotiates_json(self, bundle):
         app = _traced_app(bundle)
-        status, payload = app.handle(
+        response = app.handle(
             "GET", "/metrics", None, {"Accept": "application/json"}
         )
-        assert status == 200 and "counters" in payload
+        assert response.status == 200 and "counters" in response.body
 
     def test_explicit_format_beats_accept_header(self, bundle):
         app = _traced_app(bundle)
         from repro.serve import PlainText
 
-        _status, payload = app.handle(
+        response = app.handle(
             "GET", "/metrics?format=prometheus", None,
             {"Accept": "application/json"},
         )
-        assert isinstance(payload, PlainText)
+        assert isinstance(response.body, PlainText)
 
 
 class TestTraceTree:
     def test_single_request_trace_spans_http_to_model(self, bundle):
         app = _traced_app(bundle)
         _warm(app)
-        status, _payload = app.handle("GET", "/forecast", None)
-        assert status == 200
+        assert app.handle("GET", "/forecast", None).status == 200
         spans = {s.name: s for s in app.tracer.finished_spans()}
         assert set(spans) >= {"http", "engine.forecast", "batch_forward",
                               "model_forward"}
@@ -140,8 +139,7 @@ class TestTraceTree:
 
             def client():
                 barrier.wait()
-                status, _ = app.handle("GET", "/forecast", None)
-                statuses.append(status)
+                statuses.append(app.handle("GET", "/forecast", None).status)
 
             threads = [threading.Thread(target=client) for _ in range(2)]
             for t in threads:
@@ -167,8 +165,7 @@ class TestTraceTree:
 
     def test_http_error_marks_span(self, bundle):
         app = _traced_app(bundle)
-        status, _ = app.handle("GET", "/forecast?horizon=999", None)
-        assert status == 400
+        assert app.handle("GET", "/forecast?horizon=999", None).status == 400
         (http_span,) = [s for s in app.tracer.finished_spans()
                         if s.name == "http"]
         assert http_span.status == "error"
@@ -182,15 +179,15 @@ class TestHealthzDegradation:
         length = app.store.input_length
         for step in range(length):
             app.store.observe(step, np.full((n, d), 60.0))
-        status, healthy = app.handle("GET", "/healthz", None)
-        assert status == 200 and healthy["status"] == "ok"
+        healthy = app.handle("GET", "/healthz", None).body
+        assert healthy["status"] == "ok"
         assert healthy["quality"]["degraded"] is False
 
         # cut every sensor but node 0 for a full window
         for step in range(length, 2 * length):
             app.store.observe_sensor(step, 0, np.full(d, 60.0))
-        status, degraded = app.handle("GET", "/healthz", None)
-        assert status == 200 and degraded["status"] == "degraded"
+        degraded = app.handle("GET", "/healthz", None).body
+        assert degraded["status"] == "degraded"
         assert degraded["quality"]["degraded"] is True
         assert any("silent" in reason for reason in degraded["quality"]["reasons"])
         assert degraded["sensors"]["lag_steps"][0] == 0
@@ -205,8 +202,8 @@ class TestHealthzDegradation:
         app.handle("GET", "/healthz", None)
         for step in range(length, 2 * length):
             app.store.observe_sensor(step, 0, np.full(d, 60.0))
-        _status, payload = app.handle("GET", "/metrics", None)
-        families = parse_exposition(payload.body)
+        response = app.handle("GET", "/metrics", None)
+        families = parse_exposition(response.body.body)
         quality = families["repro_quality_missing_rate"]["samples"]
         # EWMA: one degraded inspection moves node 1 by alpha, not to 1.0
         assert quality['repro_quality_missing_rate{node="1"}'] > (
@@ -224,10 +221,10 @@ class TestTracesEndpoint:
         app = _traced_app(bundle)
         _warm(app)
         app.handle("GET", "/forecast", None)
-        status, payload = app.handle("GET", "/traces", None)
-        assert status == 200
-        assert len(payload["traces"]) == 1
-        names = {s["name"] for s in payload["traces"][0]["spans"]}
+        response = app.handle("GET", "/traces", None)
+        assert response.status == 200
+        assert len(response.body["traces"]) == 1
+        names = {s["name"] for s in response.body["traces"][0]["spans"]}
         assert "http" in names and "model_forward" in names
 
     def test_limit_query_parameter(self, bundle):
@@ -235,15 +232,15 @@ class TestTracesEndpoint:
         _warm(app)
         app.handle("GET", "/forecast", None)
         app.handle("GET", "/healthz", None)
-        _status, payload = app.handle("GET", "/traces?limit=1", None)
-        assert len(payload["traces"]) == 1
+        response = app.handle("GET", "/traces?limit=1", None)
+        assert len(response.body["traces"]) == 1
 
     def test_format_trace_renders_server_payload(self, bundle):
         app = _traced_app(bundle)
         _warm(app)
         app.handle("GET", "/forecast", None)
-        _status, payload = app.handle("GET", "/traces", None)
-        text = format_trace(payload["traces"][0])
+        response = app.handle("GET", "/traces", None)
+        text = format_trace(response.body["traces"][0])
         assert "http" in text and "model_forward" in text
 
 

@@ -85,10 +85,10 @@ class TestFallbackLadder:
         fresh = app.handle("GET", "/forecast", None)
         assert fresh.status == 200 and "X-Degraded" not in fresh.headers
         # New data bumps the version (cache miss), then the model dies.
-        status, payload = app.handle(
+        accepted = app.handle(
             "POST", "/observe", observe_body(app, app.store.input_length)
         )
-        assert status == 200 and payload["accepted"]
+        assert accepted.status == 200 and accepted.body["accepted"]
         break_model(app)
         degraded = app.handle("GET", "/forecast", None)
         assert degraded.status == 200
@@ -145,12 +145,16 @@ class TestFallbackLadder:
 
 
 class TestResponseCompat:
-    def test_response_unpacks_like_a_tuple(self, bundle):
+    def test_response_tuple_unpacking_removed(self, bundle):
+        """The transitional ``(status, payload)`` unpacking is gone; the
+        error names the replacement attributes."""
         app, _ = make_app(bundle)
         response = app.handle("GET", "/healthz", None)
         assert isinstance(response, Response)
-        status, payload = response
-        assert status == response.status and payload is response.body
+        with pytest.raises(TypeError, match="no longer iterable"):
+            status, payload = response
+        with pytest.raises(TypeError, match="response.status"):
+            tuple(response)
 
     def test_headers_default_empty(self):
         assert Response(200, {"ok": True}).headers == {}
@@ -206,30 +210,29 @@ class TestSheddingAndSaturation:
     def test_unbounded_queue_never_saturates(self, bundle):
         app, _ = make_app(bundle, max_queue_depth=0)
         assert not app.engine.saturated
-        status, _ = app.handle("POST", "/observe", observe_body(app, 0))
-        assert status == 200
+        assert app.handle("POST", "/observe", observe_body(app, 0)).status == 200
 
 
 class TestDuplicateObservations:
     def test_duplicate_is_idempotent_and_counted(self, bundle):
         app, registry = make_app(bundle)
         body = observe_body(app, 3, node=1, value=42.0)
-        status, first = app.handle("POST", "/observe", body)
-        assert status == 200 and first["accepted"]
-        version = first["version"]
-        status, second = app.handle("POST", "/observe", body)
-        assert status == 200 and second["accepted"]
-        assert second["version"] == version  # no version churn
+        first = app.handle("POST", "/observe", body)
+        assert first.status == 200 and first.body["accepted"]
+        version = first.body["version"]
+        second = app.handle("POST", "/observe", body)
+        assert second.status == 200 and second.body["accepted"]
+        assert second.body["version"] == version  # no version churn
         assert registry.counter("serve/observe_duplicates").value == 1
         assert app.store.observations == 1
 
     def test_conflicting_redelivery_is_not_a_duplicate(self, bundle):
         app, registry = make_app(bundle)
         app.handle("POST", "/observe", observe_body(app, 3, node=1, value=42.0))
-        status, payload = app.handle(
+        redelivered = app.handle(
             "POST", "/observe", observe_body(app, 3, node=1, value=43.0)
         )
-        assert status == 200 and payload["accepted"]
+        assert redelivered.status == 200 and redelivered.body["accepted"]
         assert registry.counter("serve/observe_duplicates").value == 0
         assert app.store.observations == 2
 
@@ -240,9 +243,9 @@ class TestHealthAndMetrics:
         fill_store(app)
         break_model(app)
         app.handle("GET", "/forecast", None)  # one degraded answer
-        status, payload = app.handle("GET", "/healthz", None)
-        assert status == 200
-        reliability = payload["reliability"]
+        response = app.handle("GET", "/healthz", None)
+        assert response.status == 200
+        reliability = response.body["reliability"]
         assert reliability["degraded_total"] == 1
         assert reliability["fallback_hit_rate"] == 1.0
         assert reliability["breaker"]["state"] in ("closed", "open", "half_open")
@@ -253,10 +256,10 @@ class TestHealthAndMetrics:
         breaker = app.engine.breaker
         while breaker.state != OPEN:
             breaker.record_failure()
-        status, payload = app.handle("GET", "/healthz", None)
-        assert status == 200
-        assert payload["status"] == "degraded"
-        assert payload["reliability"]["breaker"]["state"] == OPEN
+        response = app.handle("GET", "/healthz", None)
+        assert response.status == 200
+        assert response.body["status"] == "degraded"
+        assert response.body["reliability"]["breaker"]["state"] == OPEN
 
     def test_prometheus_exposes_breaker_and_fallback_series(self, bundle):
         app, _ = make_app(bundle)

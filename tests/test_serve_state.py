@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.models.grud import compute_deltas
+from repro.errors import StateError
 from repro.serve import StateStore
 
 
@@ -34,9 +35,9 @@ class TestObserve:
 
     def test_shape_validation(self):
         store = make_store(n=3, d=2)
-        with pytest.raises(ValueError, match="values must be"):
+        with pytest.raises(StateError, match="values must be"):
             store.observe(0, np.zeros((2, 2)))
-        with pytest.raises(ValueError, match="mask shape"):
+        with pytest.raises(StateError, match="mask shape"):
             store.observe(0, np.zeros((3, 2)), mask=np.zeros((3, 1)))
 
     def test_partial_readings_merge(self):
@@ -171,9 +172,9 @@ class TestObserveSensor:
 
     def test_node_and_feature_validation(self):
         store = make_store(n=2, d=2)
-        with pytest.raises(ValueError, match="node 5"):
+        with pytest.raises(StateError, match="node 5"):
             store.observe_sensor(0, 5, [1.0, 2.0])
-        with pytest.raises(ValueError, match="features"):
+        with pytest.raises(StateError, match="features"):
             store.observe_sensor(0, 1, [1.0])
 
 
@@ -195,5 +196,5 @@ class TestLoadHistory:
         np.testing.assert_allclose(store.window().m[:, 0, 0], [1.0, 0.0, 1.0])
 
     def test_rejects_wrong_shape(self):
-        with pytest.raises(ValueError, match="history must be"):
+        with pytest.raises(StateError, match="history must be"):
             make_store(n=2, d=1).load_history(np.ones((5, 3, 1)))

@@ -142,3 +142,42 @@ class TestRendering:
         assert "repro_weird NaN" in text
         assert "repro_hot +Inf" in text
         parse_exposition(text)
+
+class TestLabelHygiene:
+    """Tenant and bundle ids become label values; hostile input must not
+    corrupt the exposition."""
+
+    def test_escape_label_value_covers_the_three_specials(self):
+        from repro.telemetry import escape_label_value
+
+        assert escape_label_value('evil"} bad') == r'evil\"} bad'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line1\nline2") == r"line1\nline2"
+        assert escape_label_value("tenant-α") == "tenant-α"  # UTF-8 passes
+
+    def test_label_block_sorts_and_escapes(self):
+        from repro.telemetry import label_block
+
+        assert label_block({}) == ""
+        block = label_block({"tenant": 'a"b', "role": "shadow"})
+        assert block == '{role="shadow",tenant="a\\"b"}'
+
+    def test_invalid_label_name_raises(self):
+        from repro.telemetry import label_block
+
+        with pytest.raises(ValueError, match="label name"):
+            label_block({'bad"name': "v"})
+        with pytest.raises(ValueError, match="label name"):
+            label_block({"0leading": "v"})
+
+    def test_hostile_label_value_renders_one_wellformed_series(self):
+        registry = MetricRegistry()
+        from repro.telemetry import label_block
+
+        name = "fleet/requests" + label_block({"tenant": 'evil"} bad'})
+        registry.counter(name).inc()
+        text = render_prometheus(registry)
+        (sample_line,) = [l for l in text.splitlines() if not l.startswith("#")]
+        assert sample_line == (
+            'repro_fleet_requests_total{tenant="evil\\"} bad"} 1.0'
+        )

@@ -141,32 +141,30 @@ class TestEpochLogger:
             EpochLogger(every=0)
 
 
-class TestVerboseDeprecation:
-    def test_verbose_warns_and_logs(self, env, capsys):
-        wtr, _, adjacency, _ = env
-        trainer = Trainer(small_model(adjacency),
-                          TrainerConfig(max_epochs=1, batch_size=64, verbose=True))
-        with pytest.warns(DeprecationWarning, match="verbose is deprecated"):
-            trainer.fit(wtr, None)
-        out = capsys.readouterr().out
-        assert "epoch   0" in out  # implicit EpochLogger still prints
+class TestVerboseRemoved:
+    def test_verbose_raises_config_error_with_hint(self):
+        from repro.errors import ConfigError
 
-    def test_verbose_does_not_duplicate_logger(self, env):
-        wtr, _, adjacency, _ = env
-        stream = io.StringIO()
-        trainer = Trainer(small_model(adjacency),
-                          TrainerConfig(max_epochs=1, batch_size=64, verbose=True))
-        with pytest.warns(DeprecationWarning):
-            trainer.fit(wtr, None, callbacks=[EpochLogger(stream=stream)])
-        assert len(stream.getvalue().splitlines()) == 1
+        for value in (True, False):
+            with pytest.raises(ConfigError, match="EpochLogger"):
+                TrainerConfig(max_epochs=1, batch_size=64, verbose=value)
 
-    def test_no_warning_by_default(self, env, recwarn):
+    def test_default_construction_is_clean(self, env, recwarn):
         wtr, _, adjacency, _ = env
-        trainer = Trainer(small_model(adjacency),
-                          TrainerConfig(max_epochs=1, batch_size=64))
+        config = TrainerConfig(max_epochs=1, batch_size=64)
+        assert "verbose" not in config.__dict__  # InitVar leaves no field
+        trainer = Trainer(small_model(adjacency), config)
         trainer.fit(wtr, None)
         assert not any(issubclass(w.category, DeprecationWarning)
                        for w in recwarn.list)
+
+    def test_explicit_logger_still_prints(self, env):
+        wtr, _, adjacency, _ = env
+        stream = io.StringIO()
+        trainer = Trainer(small_model(adjacency),
+                          TrainerConfig(max_epochs=1, batch_size=64))
+        trainer.fit(wtr, None, callbacks=[EpochLogger(stream=stream)])
+        assert len(stream.getvalue().splitlines()) == 1
 
 
 class TestJSONLRunRecorder:
