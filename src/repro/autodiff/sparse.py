@@ -45,7 +45,7 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
         raise TypeError(f"expected a scipy.sparse matrix, got {type(matrix)}")
     csr = matrix.tocsr()
     data = _apply(csr, x.data)
-    if not _tensor_mod._GRAD_ENABLED:
+    if not _tensor_mod._grad_mode.enabled:
         return Tensor(data)
     transpose = csr.T.tocsr()
 

@@ -21,6 +21,7 @@ All operations support full numpy broadcasting; gradients are automatically
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -44,12 +45,26 @@ __all__ = [
 ]
 
 
-_GRAD_ENABLED = True
+class _GradMode(threading.local):
+    """Per-thread grad-mode flag.
+
+    The flag must be thread-local: the serving stack runs no-grad
+    forwards on engine/router worker threads while training code may be
+    mid-backward on another thread. With a process-global flag, two
+    overlapping ``no_grad`` contexts on different threads restore their
+    saved values out of order and can leave grad recording disabled for
+    every thread — permanently.
+    """
+
+    enabled = True  # class attribute = per-thread default
+
+
+_grad_mode = _GradMode()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (this thread).
 
     Inside the context every op takes a fast dispatch path: no backward
     closure is allocated, no auxiliary arrays (masks, permutations, slice
@@ -57,15 +72,15 @@ def no_grad():
     carries no parents. Forward values are bitwise-identical to grad-mode
     outputs — only the tape is skipped. Used during evaluation/prediction
     and by the serving stack so memory stays flat and per-op overhead is
-    minimal.
+    minimal. The mode is per-thread, so a serving forward on a worker
+    thread never disables grad for a concurrent training thread.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_mode.enabled = previous
 
 
 #: Alias for :func:`no_grad` — the serving stack calls it ``inference_mode``
@@ -75,19 +90,18 @@ inference_mode = no_grad
 
 @contextlib.contextmanager
 def enable_grad():
-    """Context manager that (re-)enables graph construction."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    """Context manager that (re-)enables graph construction (this thread)."""
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_mode.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
-    return _GRAD_ENABLED
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -238,7 +252,7 @@ class Tensor:
         op: str,
     ) -> "Tensor":
         """Create the result of a differentiable op, wiring the graph."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -348,7 +362,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data + other.data)
         data = self.data + other.data
 
@@ -361,7 +375,7 @@ class Tensor:
 
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data - other.data)
         data = self.data - other.data
 
@@ -375,7 +389,7 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data * other.data)
         data = self.data * other.data
 
@@ -391,7 +405,7 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data / other.data)
         data = self.data / other.data
 
@@ -407,7 +421,7 @@ class Tensor:
         return as_tensor(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(-self.data)
 
         def backward(g):
@@ -418,7 +432,7 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data ** exponent)
         data = self.data ** exponent
 
@@ -444,7 +458,7 @@ class Tensor:
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.exp(self.data))
         data = np.exp(self.data)
 
@@ -454,7 +468,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "exp")
 
     def log(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.log(self.data))
 
         def backward(g, a=self):
@@ -463,7 +477,7 @@ class Tensor:
         return Tensor._make(np.log(self.data), (self,), backward, "log")
 
     def sqrt(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.sqrt(self.data))
         data = np.sqrt(self.data)
 
@@ -473,7 +487,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sqrt")
 
     def tanh(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.tanh(self.data))
         data = np.tanh(self.data)
 
@@ -489,7 +503,7 @@ class Tensor:
         t += 1.0
         pos = np.divide(1.0, t, out=t)  # 1 / (1 + exp(-|x|)), buffer reused
         data = np.where(self.data >= 0, pos, 1.0 - pos)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(data)
 
         def backward(g, out=data):
@@ -498,7 +512,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.where(self.data > 0, self.data, 0.0))
         mask = self.data > 0
         data = np.where(mask, self.data, 0.0)
@@ -512,7 +526,7 @@ class Tensor:
         return self.abs()
 
     def abs(self) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.abs(self.data))
         sign = np.sign(self.data)
         data = np.abs(self.data)
@@ -524,7 +538,7 @@ class Tensor:
 
     def clip(self, low: float | None, high: float | None) -> "Tensor":
         data = np.clip(self.data, low, high)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(data)
         mask = np.ones_like(self.data)
         if low is not None:
@@ -541,7 +555,7 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data.sum(axis=axis, keepdims=keepdims))
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
@@ -554,7 +568,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data.mean(axis=axis, keepdims=keepdims))
         data = self.data.mean(axis=axis, keepdims=keepdims)
         if axis is None:
@@ -572,7 +586,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "mean")
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data.max(axis=axis, keepdims=keepdims))
         data = self.data.max(axis=axis, keepdims=keepdims)
 
@@ -597,7 +611,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other) -> "Tensor":
         other = as_tensor(other)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.matmul(self.data, other.data))
         data = np.matmul(self.data, other.data)
 
@@ -640,7 +654,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data.reshape(shape))
         data = self.data.reshape(shape)
 
@@ -654,7 +668,7 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data.transpose(axes))
         data = self.data.transpose(axes)
         inverse = tuple(np.argsort(axes))
@@ -670,7 +684,7 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def squeeze(self, axis: int) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.squeeze(self.data, axis=axis))
         data = np.squeeze(self.data, axis=axis)
 
@@ -680,7 +694,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "squeeze")
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(np.expand_dims(self.data, axis))
         data = np.expand_dims(self.data, axis)
 
@@ -691,7 +705,7 @@ class Tensor:
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
         data = np.broadcast_to(self.data, shape)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(data.copy())
 
         def backward(g, orig=self.data.shape):
@@ -702,7 +716,7 @@ class Tensor:
     def pad(self, pad_width) -> "Tensor":
         """Zero-pad; ``pad_width`` follows ``numpy.pad`` conventions."""
         data = np.pad(self.data, pad_width)
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(data)
         slices = tuple(
             slice(before, before + dim)
@@ -715,7 +729,7 @@ class Tensor:
         return Tensor._make(data, (self,), backward, "pad")
 
     def __getitem__(self, index) -> "Tensor":
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             return Tensor(self.data[index])
         data = self.data[index]
 
@@ -743,7 +757,7 @@ class Tensor:
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
-    if not _GRAD_ENABLED:
+    if not _grad_mode.enabled:
         return Tensor(np.concatenate([t.data for t in tensors], axis=axis))
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
@@ -795,7 +809,7 @@ def split(x: Tensor, sections: int | Sequence[int], axis: int = -1) -> tuple[Ten
     for size in sizes:
         index = head + (slice(offset, offset + size),)
         offset += size
-        if not _GRAD_ENABLED:
+        if not _grad_mode.enabled:
             outs.append(Tensor(x.data[index]))
             continue
 
@@ -809,7 +823,7 @@ def split(x: Tensor, sections: int | Sequence[int], axis: int = -1) -> tuple[Ten
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
-    if not _GRAD_ENABLED:
+    if not _grad_mode.enabled:
         return Tensor(np.stack([t.data for t in tensors], axis=axis))
     data = np.stack([t.data for t in tensors], axis=axis)
 
@@ -828,7 +842,7 @@ def where(condition, a, b) -> Tensor:
     cond = cond.astype(bool)
     a = as_tensor(a)
     b = as_tensor(b)
-    if not _GRAD_ENABLED:
+    if not _grad_mode.enabled:
         return Tensor(np.where(cond, a.data, b.data))
     data = np.where(cond, a.data, b.data)
 
@@ -845,7 +859,7 @@ def maximum(a, b) -> Tensor:
     """Elementwise maximum; ties send gradient to the first operand."""
     a = as_tensor(a)
     b = as_tensor(b)
-    if not _GRAD_ENABLED:
+    if not _grad_mode.enabled:
         return Tensor(np.where(a.data >= b.data, a.data, b.data))
     take_a = a.data >= b.data
     data = np.where(take_a, a.data, b.data)
@@ -863,7 +877,7 @@ def minimum(a, b) -> Tensor:
     """Elementwise minimum; ties send gradient to the first operand."""
     a = as_tensor(a)
     b = as_tensor(b)
-    if not _GRAD_ENABLED:
+    if not _grad_mode.enabled:
         return Tensor(np.where(a.data <= b.data, a.data, b.data))
     take_a = a.data <= b.data
     data = np.where(take_a, a.data, b.data)

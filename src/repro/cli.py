@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli serve --bundle artifacts/rihgcn --port 8787 --trace-sample 0.1
     python -m repro.cli chaos --bundle artifacts/rihgcn --error-rate 0.05
     python -m repro.cli traces http://127.0.0.1:8787 --limit 5
+    python -m repro.cli cluster --bundle artifacts/gcnlstm --shards 2
+    python -m repro.cli cluster-smoke --shards 2 --report smoke.json
 
 Every subcommand prints the corresponding paper table/figure rows. The
 ``--scale`` flag trades fidelity for speed (fast/small/full); individual
@@ -189,6 +191,40 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="candidate bundle base path from 'export'")
     p.add_argument("--rounds", type=int, default=120,
                    help="observe+forecast rounds per tenant and phase")
+    p.add_argument("--report", type=str, default=None,
+                   help="also write the JSON report to this path")
+
+    p = sub.add_parser(
+        "cluster",
+        help="serve a bundle from an N-worker sharded cluster "
+             "(see docs/CLUSTER.md)",
+    )
+    p.add_argument("--bundle", required=True, help="bundle base path from 'export'")
+    p.add_argument("--shards", type=int, default=2, help="worker process count")
+    p.add_argument("--halo-hops", type=int, default=None,
+                   help="halo ring depth (default: the model's receptive field)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="router TCP port; 0 picks an ephemeral port")
+    p.add_argument("--shard-deadline-s", type=float, default=2.0,
+                   help="per-shard scatter-gather deadline in seconds")
+    p.add_argument("--salt", default="",
+                   help="consistent-hash ring salt (changes region placement)")
+
+    p = sub.add_parser(
+        "cluster-smoke",
+        help="identity control + seeded kill-one-shard chaos over a "
+             "2-worker cluster (CI gate; see docs/CLUSTER.md)",
+    )
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--requests", type=int, default=60,
+                   help="load requests per chaos phase")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="identity control only, skip the kill/restart phase")
+    p.add_argument("--in-process", action="store_true",
+                   help="simulate workers in-process instead of spawning")
+    p.add_argument("--availability-target", type=float, default=0.99,
+                   help="minimum 2xx share under chaos; below this exits non-zero")
     p.add_argument("--report", type=str, default=None,
                    help="also write the JSON report to this path")
 
@@ -470,6 +506,81 @@ def main(argv: list[str] | None = None) -> int:
         report = run_fleet_smoke(
             bundle_a, bundle_b, rounds=args.rounds, seed=args.seed
         )
+        for check, ok in report["checks"].items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, default=str)
+            print(f"report written to {args.report}")
+        print(f"verdict: {'PASS' if report['passed'] else 'FAIL'}")
+        if not report["passed"]:
+            return 1
+    elif args.command == "cluster":
+        from .graphs import shard_quality
+        from .serve import bind_http, load_bundle
+        from .serve.cluster import (
+            ClusterConfig,
+            ClusterSupervisor,
+            build_plan,
+            coupling_adjacency,
+        )
+
+        config = ClusterConfig(
+            num_shards=args.shards,
+            halo_hops=args.halo_hops,
+            host=args.host,
+            port=args.port,
+            shard_deadline_s=args.shard_deadline_s,
+            salt=args.salt,
+        )
+        bundle = load_bundle(args.bundle)
+        plan = build_plan(bundle, config)
+        quality = shard_quality(plan, coupling_adjacency(bundle))
+        print(f"loaded {bundle.model_name} bundle: {bundle.num_nodes} nodes "
+              f"-> {plan.num_shards} shards, halo {plan.halo_hops} hops")
+        print(f"  owned per shard {quality['owned_sizes']}, "
+              f"edge cut {quality['edge_cut']:.2%}, "
+              f"replication x{quality['replication_factor']:.2f}")
+        supervisor = ClusterSupervisor(args.bundle, plan, config=config)
+        supervisor.start()
+        try:
+            for shard, port in enumerate(supervisor.ports):
+                print(f"  shard {shard}: http://127.0.0.1:{port}")
+            server = bind_http(supervisor.router, args.host, args.port)
+            host, port = server.server_address[:2]
+            print(f"cluster router listening on http://{host}:{port} "
+                  f"(Ctrl-C to stop)")
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            supervisor.stop()
+    elif args.command == "cluster-smoke":
+        import json
+
+        from .serve import run_cluster_smoke
+
+        num_nodes = args.nodes or 48
+        print(f"cluster smoke: {num_nodes} nodes x {args.shards} shards, "
+              f"{'in-process' if args.in_process else 'worker processes'}, "
+              f"chaos {'off' if args.no_chaos else 'on'}")
+        report = run_cluster_smoke(
+            num_nodes=num_nodes,
+            num_shards=args.shards,
+            seed=args.seed,
+            chaos=not args.no_chaos,
+            processes=not args.in_process,
+            availability_floor=args.availability_target,
+            requests_per_phase=args.requests,
+        )
+        identity = report["identity"]
+        print(f"  identity max |diff| {identity['max_abs_diff']:.2e} "
+              f"(tol {identity['tol']:.0e}, {identity['dtype']})")
+        if "chaos" in report:
+            chaos = report["chaos"]
+            print(f"  chaos availability {chaos['availability']:.2%} "
+                  f"(victim shard {chaos['victim']}, "
+                  f"warmed from {chaos['warmed']})")
         for check, ok in report["checks"].items():
             print(f"  {'PASS' if ok else 'FAIL'}  {check}")
         if args.report:

@@ -24,6 +24,19 @@ from .artifact import (
     save_fleet_manifest,
 )
 from .cache import LRUCache
+from .cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ClusterSupervisor,
+    LocalCluster,
+    ShardApp,
+    build_plan,
+    corridor_adjacency,
+    make_demo_bundle,
+    make_shard_bundle,
+    run_cluster_smoke,
+    spatial_hops,
+)
 from .config import (
     DEFAULT_TENANT,
     CanaryConfig,
@@ -34,15 +47,19 @@ from .config import (
 )
 from .engine import Forecast, ForecastEngine
 from .fleet import EnginePool, TenantQuota, build_pool
-from .http import PlainText, Response, ServeApp, make_server, run_server
+from .http import PlainText, Response, ServeApp, bind_http, make_server, run_server
 from .loadgen import (
+    ClusterLoadReport,
     LoadReport,
     SoakReport,
     compare_batched_sequential,
     make_chaos_app,
+    open_loop_arrivals,
     run_chaos_soak,
+    run_cluster_load,
     run_fleet_smoke,
     run_load,
+    zipf_node_sampler,
 )
 from .state import StateStore, StateWindow
 
@@ -69,6 +86,7 @@ __all__ = [
     "PlainText",
     "Response",
     "ServeApp",
+    "bind_http",
     "make_server",
     "run_server",
     "LoadReport",
@@ -78,6 +96,21 @@ __all__ = [
     "make_chaos_app",
     "run_chaos_soak",
     "run_fleet_smoke",
+    "ClusterLoadReport",
+    "open_loop_arrivals",
+    "run_cluster_load",
+    "zipf_node_sampler",
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "LocalCluster",
+    "ShardApp",
+    "build_plan",
+    "corridor_adjacency",
+    "make_demo_bundle",
+    "make_shard_bundle",
+    "run_cluster_smoke",
+    "spatial_hops",
     "StateStore",
     "StateWindow",
 ]

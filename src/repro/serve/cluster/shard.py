@@ -1,0 +1,273 @@
+"""One shard of the serving cluster: a sliced engine behind global ids.
+
+A :class:`ShardApp` wraps an :class:`~repro.serve.fleet.EnginePool` over
+the shard's sliced bundle (see :mod:`.sharding`) and speaks the same
+``handle(method, path, body, headers)`` surface as
+:class:`~repro.serve.http.ServeApp` — so :func:`~repro.serve.http.
+bind_http` serves it over a socket unchanged. All node addressing is
+**global**: the shard translates to its local row indices at the edge,
+returns 404 with ownership hints for nodes it does not retain, and
+serves ``/shard/snapshot`` + ``/shard/restore`` so a restarted peer can
+warm from it over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from ...autodiff import default_dtype
+from ...errors import ConfigError, Overloaded, ServeError, StateError
+from ...graphs import ShardPlan
+from ...telemetry import MetricRegistry
+from ...telemetry.trace import Tracer
+from ..artifact import ModelBundle
+from ..config import DEFAULT_TENANT, ServeConfig
+from ..fleet import EnginePool
+from ..http import Response, ServeApp
+from .sharding import make_shard_bundle, translate_snapshot
+
+__all__ = ["ShardApp"]
+
+
+class ShardApp:
+    """The request surface of one worker shard."""
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        plan: ShardPlan,
+        shard: int,
+        config: ServeConfig | None = None,
+        registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if not 0 <= shard < plan.num_shards:
+            raise ConfigError(
+                f"shard {shard} outside plan with {plan.num_shards} shards"
+            )
+        if plan.num_nodes != bundle.num_nodes:
+            raise ConfigError(
+                f"plan covers {plan.num_nodes} nodes, bundle has {bundle.num_nodes}"
+            )
+        self.plan = plan
+        self.shard = int(shard)
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.owned = plan.nodes_of(shard)
+        self.retained = plan.retained_of(shard)
+        self._local = {int(g): i for i, g in enumerate(self.retained)}
+        self._owned_local = np.asarray(
+            [self._local[int(g)] for g in self.owned], dtype=int
+        )
+        self.bundle = make_shard_bundle(bundle, self.retained)
+        pool = EnginePool(registry=self.registry, tracer=tracer)
+        pool.add_tenant(
+            DEFAULT_TENANT,
+            self.bundle,
+            config=self.config,
+            # Per-shard series labels: the router's merged /metrics view
+            # relies on these to keep shard series disjoint.
+            labels={"shard": f"s{self.shard}"},
+            engine_name=f"shard{self.shard}",
+        )
+        self.inner = ServeApp(pool=pool, config=self.config)
+        self.pool = pool
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShardApp":
+        self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        self.pool.stop()
+
+    def __enter__(self) -> "ShardApp":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def store(self):
+        return self.inner.store
+
+    @property
+    def engine(self):
+        return self.inner.engine
+
+    # -- helpers -------------------------------------------------------
+    def _not_held(self, node: int) -> Response:
+        """404 with a shard-map hint: who does hold this node."""
+        body: dict = {
+            "error": f"node {node} is not held by shard {self.shard}",
+            "shard": self.shard,
+            "num_nodes": self.plan.num_nodes,
+        }
+        if 0 <= node < self.plan.num_nodes:
+            body["owner"] = self.plan.owner(node)
+            body["holders"] = list(self.plan.holders_of(node))
+        else:
+            body["error"] = (
+                f"node {node} outside the sensor graph [0, {self.plan.num_nodes})"
+            )
+        return Response(404, body)
+
+    def shard_info(self) -> Response:
+        return Response(200, {
+            "shard": self.shard,
+            "num_shards": self.plan.num_shards,
+            "halo_hops": self.plan.halo_hops,
+            "owned": list(self.owned),
+            "halo": list(self.plan.halo_of(self.shard)),
+            "model": self.bundle.model_name,
+            "warm": self.store.warm,
+            "version": self.store.version,
+        })
+
+    def snapshot(self) -> Response:
+        return Response(200, {
+            "shard": self.shard,
+            "nodes": list(self.retained),
+            "state": self.store.snapshot(),
+        })
+
+    def restore(self, payload: dict) -> Response:
+        nodes = payload.get("nodes")
+        state = payload.get("state")
+        if nodes is None or state is None:
+            return Response(
+                400, {"error": "restore body needs 'nodes' and 'state'"}
+            )
+        translated = translate_snapshot(state, nodes, self.retained)
+        self.store.restore(translated)
+        return Response(200, {
+            "restored": True,
+            "shard": self.shard,
+            "version": self.store.version,
+            "newest_step": self.store.newest_step,
+        })
+
+    # -- observe/forecast with global-id translation -------------------
+    def _observe(self, body: bytes | None, headers: dict | None) -> Response:
+        payload = self.inner._parse_json(body)
+        if isinstance(payload, Response):
+            return payload
+        if "node" in payload:
+            node = int(payload["node"])
+            local = self._local.get(node)
+            if local is None:
+                return self._not_held(node)
+            payload = dict(payload, node=local)
+        elif "values" in payload:
+            values = np.asarray(payload["values"], dtype=default_dtype())
+            if values.ndim == 1:
+                values = values[:, None]
+            if values.shape[0] != self.plan.num_nodes:
+                return Response(400, {
+                    "error": f"cluster observations are global: expected "
+                    f"{self.plan.num_nodes} rows, got {values.shape[0]}"
+                })
+            keep = np.asarray(self.retained, dtype=int)
+            payload = dict(payload, values=values[keep].tolist())
+            mask = payload.get("mask")
+            if mask is not None:
+                mask = np.asarray(mask, dtype=default_dtype())
+                if mask.ndim == 1:
+                    mask = mask[:, None]
+                if mask.shape[0] != self.plan.num_nodes:
+                    return Response(400, {
+                        "error": f"mask must have {self.plan.num_nodes} rows"
+                    })
+                payload["mask"] = mask[keep].tolist()
+        return self.inner.handle(
+            "POST", "/observe", json.dumps(payload).encode(), headers
+        )
+
+    def _forecast(self, query: dict) -> Response:
+        horizon = query.get("horizon")
+        horizon = int(horizon[0]) if horizon else None
+        nodes_q = query.get("nodes") or query.get("node")
+        if nodes_q:
+            requested = [int(v) for v in nodes_q[0].split(",") if v != ""]
+        elif query.get("scope", ["owned"])[0] == "retained":
+            requested = [int(g) for g in self.retained]
+        else:
+            requested = [int(g) for g in self.owned]
+        local: list[int] = []
+        for node in requested:
+            row = self._local.get(node)
+            if row is None:
+                return self._not_held(node)
+            local.append(row)
+        runtime = self.inner._runtime(DEFAULT_TENANT)
+        try:
+            result = self.pool.forecast(DEFAULT_TENANT, horizon=horizon)
+        except Overloaded as error:
+            return Response(
+                429, {"error": str(error)}, self.inner._retry_after(runtime, error)
+            )
+        except (StateError, ValueError) as error:
+            return Response(400, {"error": str(error)})
+        except ServeError as error:
+            self.registry.counter("serve/unavailable_responses").inc()
+            return Response(
+                503,
+                {"error": str(error), "cause": type(error).__name__},
+                self.inner._retry_after(runtime, error),
+            )
+        rows = np.asarray(local, dtype=int)
+        prediction = np.asarray(result.prediction)[:, rows, :]
+        headers = {"X-Degraded": result.degraded} if result.degraded else {}
+        return Response(200, {
+            "shard": self.shard,
+            "nodes": requested,
+            "horizon": result.horizon,
+            "version": result.version,
+            "newest_step": result.newest_step,
+            "cached": result.cached,
+            "degraded": result.degraded,
+            "prediction": prediction.tolist(),
+        }, headers)
+
+    # -- dispatch ------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict | None = None,
+    ) -> Response:
+        parsed = urlparse(path)
+        route = parsed.path.rstrip("/") or "/"
+        query = parse_qs(parsed.query)
+        try:
+            if method == "GET" and route == "/shard/info":
+                return self.shard_info()
+            if method == "GET" and route == "/shard/snapshot":
+                return self.snapshot()
+            if method == "POST" and route == "/shard/restore":
+                payload = self.inner._parse_json(body)
+                if isinstance(payload, Response):
+                    return payload
+                return self.restore(payload)
+            if method == "POST" and route == "/observe":
+                return self._observe(body, headers)
+            if method == "GET" and route == "/forecast":
+                return self._forecast(query)
+        except StateError as error:
+            return Response(400, {"error": str(error)})
+        if method == "GET" and route == "/healthz":
+            response = self.inner.handle(method, path, body, headers)
+            if response.status == 200 and isinstance(response.body, dict):
+                body_out = dict(response.body)
+                body_out["shard"] = {
+                    "shard": self.shard,
+                    "owned": len(self.owned),
+                    "retained": len(self.retained),
+                }
+                return Response(response.status, body_out, response.headers)
+            return response
+        return self.inner.handle(method, path, body, headers)

@@ -88,7 +88,7 @@ from .engine import ForecastEngine
 from .fleet import EnginePool
 from .state import StateStore
 
-__all__ = ["PlainText", "Response", "ServeApp", "make_server", "run_server"]
+__all__ = ["PlainText", "Response", "ServeApp", "bind_http", "make_server", "run_server"]
 
 
 @dataclass(frozen=True)
@@ -550,6 +550,19 @@ def _reject_bind_args(host, port) -> None:
         )
 
 
+def bind_http(app, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server for any ``handle``-shaped app.
+
+    ``app`` needs only ``handle(method, path, body, headers) -> Response``
+    — :class:`ServeApp`, the cluster shard servers and the cluster
+    router all share this surface. Lifecycle (``serve_forever`` /
+    ``shutdown`` / ``server_close``) belongs to the caller; so does
+    starting whatever engines sit behind the app.
+    """
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    return ThreadingHTTPServer((host, port), handler)
+
+
 def make_server(
     app: ServeApp, host: None = None, port: None = None
 ) -> ThreadingHTTPServer:
@@ -562,8 +575,7 @@ def make_server(
     run before the first request.
     """
     _reject_bind_args(host, port)
-    handler = type("BoundHandler", (_Handler,), {"app": app})
-    server = ThreadingHTTPServer((app.config.host, app.config.port), handler)
+    server = bind_http(app, app.config.host, app.config.port)
     app.pool.start()
     return server
 

@@ -42,6 +42,10 @@ __all__ = [
     "make_chaos_app",
     "run_chaos_soak",
     "run_fleet_smoke",
+    "open_loop_arrivals",
+    "zipf_node_sampler",
+    "ClusterLoadReport",
+    "run_cluster_load",
 ]
 
 
@@ -559,3 +563,249 @@ def run_fleet_smoke(
     report["checks"] = checks
     report["passed"] = all(checks.values())
     return report
+
+
+# ----------------------------------------------------------------------
+# Arrival processes and node popularity (cluster load generation)
+# ----------------------------------------------------------------------
+def open_loop_arrivals(
+    rate_rps: float,
+    count: int | None = None,
+    duration_s: float | None = None,
+    seed: int = 0,
+    start: float = 0.0,
+):
+    """Yield absolute arrival times of a Poisson process (open loop).
+
+    Closed-loop clients wait for each response before sending the next
+    request, so a slow server quietly throttles its own load. An
+    open-loop process fires at externally scheduled instants regardless
+    of server progress — the standard model for independent users — so
+    overload shows up as queueing rather than vanishing. Inter-arrival
+    gaps are exponential with mean ``1/rate_rps``; bound the stream with
+    ``count`` and/or ``duration_s``.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if count is None and duration_s is None:
+        raise ValueError("bound the stream with count and/or duration_s")
+    rng = np.random.default_rng(seed)
+    t = float(start)
+    emitted = 0
+    while count is None or emitted < count:
+        t += float(rng.exponential(1.0 / rate_rps))
+        if duration_s is not None and t - start > duration_s:
+            return
+        yield t
+        emitted += 1
+
+
+def zipf_node_sampler(
+    num_nodes: int,
+    exponent: float = 1.1,
+    seed: int = 0,
+):
+    """Zipf-skewed node popularity: returns ``sample(size=None)``.
+
+    Rank ``r`` (1-based) carries weight ``r**-exponent``; ranks are
+    mapped onto node ids through a seeded permutation so the hot nodes
+    are not simply the low ids (which would all land on shard 0 under a
+    contiguous partition). ``sample()`` returns one ``int`` node id;
+    ``sample(k)`` an ``ndarray`` of ``k`` ids. The sampler also exposes
+    ``sample.weights`` (per-node probability, id order) for tests.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    rank_weights = ranks ** -float(exponent)
+    rank_weights /= rank_weights.sum()
+    rng = np.random.default_rng(seed)
+    node_of_rank = rng.permutation(num_nodes)
+    weights = np.zeros(num_nodes)
+    weights[node_of_rank] = rank_weights
+
+    def sample(size: int | None = None):
+        picked = node_of_rank[rng.choice(num_nodes, size=size, p=rank_weights)]
+        return int(picked) if size is None else picked
+
+    sample.weights = weights
+    sample.node_of_rank = node_of_rank
+    return sample
+
+
+@dataclass
+class ClusterLoadReport:
+    """Aggregate result of one cluster load run (open or closed loop)."""
+
+    mode: str  # "closed" | "open"
+    num_clients: int
+    requests: int
+    forecasts: int
+    ok: int
+    degraded: int
+    rejected: int
+    client_errors: int
+    server_errors: int
+    crashes: int
+    availability: float  # non-5xx, non-crash share
+    duration_s: float
+    throughput_rps: float
+    offered_rps: float  # scheduled rate (open) or achieved rate (closed)
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    schedule_lag_ms_p99: float  # how far behind the open-loop schedule ran
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_cluster_load(
+    handle,
+    num_nodes: int,
+    num_features: int,
+    mode: str = "closed",
+    num_clients: int = 4,
+    requests_per_client: int = 50,
+    rate_rps: float = 200.0,
+    zipf_exponent: float = 1.1,
+    horizon: int | None = None,
+    seed: int = 0,
+    value_scale: float = 60.0,
+    start_step: int = 0,
+) -> ClusterLoadReport:
+    """Drive any ``handle(method, path, body)`` endpoint with cluster load.
+
+    ``handle`` is the in-process request surface shared by
+    :class:`~repro.serve.http.ServeApp`, the shard apps and the cluster
+    router (an HTTP client wrapper works too). Clients interleave
+    ``POST /observe`` for a zipf-popular sensor at an advancing shared
+    step with ``GET /forecast?node=<id>`` for another zipf draw —
+    closed-loop (back-to-back, measures capacity) or open-loop (Poisson
+    schedule at ``rate_rps`` across all clients, measures behaviour at
+    a fixed offered load).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    total_requests = num_clients * requests_per_client
+    sampler = zipf_node_sampler(num_nodes, exponent=zipf_exponent, seed=seed)
+    schedule = (
+        list(open_loop_arrivals(rate_rps, count=total_requests, seed=seed + 1))
+        if mode == "open"
+        else None
+    )
+    cursor = [0]  # shared request index
+    next_step = [start_step]
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(num_clients + 1)
+    begin_holder = [0.0]
+    horizon_query = f"&horizon={horizon}" if horizon else ""
+
+    counts = [
+        {
+            "requests": 0, "forecasts": 0, "ok": 0, "degraded": 0,
+            "rejected": 0, "client_errors": 0, "server_errors": 0,
+            "crashes": 0,
+        }
+        for _ in range(num_clients)
+    ]
+    latencies: list[list[float]] = [[] for _ in range(num_clients)]
+    lags: list[list[float]] = [[] for _ in range(num_clients)]
+
+    def tally(c: dict, response, is_forecast: bool) -> None:
+        status = response.status
+        if status >= 500:
+            c["server_errors"] += 1
+        elif status == 429:
+            c["rejected"] += 1
+        elif status >= 400:
+            c["client_errors"] += 1
+        else:
+            c["ok"] += 1
+            if is_forecast and response.headers.get("X-Degraded"):
+                c["degraded"] += 1
+
+    def client(idx: int) -> None:
+        c = counts[idx]
+        rng = np.random.default_rng(seed + 1000 + idx)
+        start_barrier.wait()
+        while True:
+            with lock:
+                i = cursor[0]
+                if i >= total_requests:
+                    return
+                cursor[0] += 1
+                is_observe = i % 2 == 0
+                if is_observe:
+                    step = next_step[0]
+                    next_step[0] += 1
+            if schedule is not None:
+                target = begin_holder[0] + schedule[i]
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                lags[idx].append(
+                    max(0.0, (time.perf_counter() - target)) * 1e3
+                )
+            node = sampler()
+            issued = time.perf_counter()
+            try:
+                if is_observe:
+                    features = rng.normal(value_scale, 5.0, size=num_features)
+                    body = json.dumps(
+                        {"step": step, "node": node, "features": features.tolist()}
+                    ).encode()
+                    tally(c, handle("POST", "/observe", body), False)
+                else:
+                    c["forecasts"] += 1
+                    path = f"/forecast?node={node}{horizon_query}"
+                    tally(c, handle("GET", path, None), True)
+            except Exception:
+                c["crashes"] += 1
+            c["requests"] += 1
+            latencies[idx].append((time.perf_counter() - issued) * 1e3)
+
+    threads = [
+        threading.Thread(target=client, args=(idx,), daemon=True)
+        for idx in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    begin_holder[0] = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - begin_holder[0]
+
+    total = {key: sum(c[key] for c in counts) for key in counts[0]}
+    flat = np.array([ms for per in latencies for ms in per])
+    flat_lag = np.array([ms for per in lags for ms in per])
+    answered = total["requests"]
+    bad = total["server_errors"] + total["crashes"]
+    achieved = float(answered / duration) if duration > 0 else 0.0
+    return ClusterLoadReport(
+        mode=mode,
+        num_clients=num_clients,
+        requests=answered,
+        forecasts=total["forecasts"],
+        ok=total["ok"],
+        degraded=total["degraded"],
+        rejected=total["rejected"],
+        client_errors=total["client_errors"],
+        server_errors=total["server_errors"],
+        crashes=total["crashes"],
+        availability=float(1.0 - bad / answered) if answered else 1.0,
+        duration_s=float(duration),
+        throughput_rps=achieved,
+        offered_rps=float(rate_rps) if mode == "open" else achieved,
+        latency_ms_mean=float(flat.mean()) if flat.size else 0.0,
+        latency_ms_p50=float(np.percentile(flat, 50)) if flat.size else 0.0,
+        latency_ms_p95=float(np.percentile(flat, 95)) if flat.size else 0.0,
+        latency_ms_p99=float(np.percentile(flat, 99)) if flat.size else 0.0,
+        schedule_lag_ms_p99=(
+            float(np.percentile(flat_lag, 99)) if flat_lag.size else 0.0
+        ),
+    )

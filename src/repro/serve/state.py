@@ -307,6 +307,91 @@ class StateStore:
         summary["lag_steps"] = [int(v) for v in lag]
         return summary
 
+    # ------------------------------------------------------------------
+    #: snapshot payload format; bump when the schema changes.
+    SNAPSHOT_FORMAT = 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of the full ring state (failover primitive).
+
+        The payload is versioned and dtype-policy aware: values are
+        serialized as plain lists along with the dtype they were held
+        in, and :meth:`restore` casts them into the receiving process's
+        policy dtype — a float64 snapshot restores cleanly into a
+        float32 store (with the usual precision loss) and vice versa.
+        Rows are ordered oldest → newest.
+        """
+        with self._lock:
+            steps = np.arange(self._newest - self.input_length + 1, self._newest + 1)
+            rows = steps % self.input_length
+            return {
+                "format_version": self.SNAPSHOT_FORMAT,
+                "dtype": str(np.dtype(default_dtype())),
+                "num_nodes": self.num_nodes,
+                "num_features": self.num_features,
+                "input_length": self.input_length,
+                "steps_per_day": self.steps_per_day,
+                "start_step": int(self._start_step),
+                "newest_step": int(self._newest),
+                "version": int(self._version),
+                "counters": {
+                    "observations": self._observations,
+                    "stale_dropped": self._stale_dropped,
+                    "cold_resets": self._cold_resets,
+                    "duplicates": self._duplicates,
+                },
+                "values": self._values[rows].tolist(),
+                "mask": self._mask[rows].tolist(),
+                "last_seen": [int(s) for s in self._last_seen],
+                "seen_ever": [bool(b) for b in self._seen_ever],
+            }
+
+    def restore(self, payload: dict) -> None:
+        """Load a :meth:`snapshot` payload, replacing the ring in place.
+
+        Dimensions must match the store exactly; the payload dtype may
+        differ from the active policy (values are cast). The store
+        version after a restore is strictly greater than both its own
+        previous version and the snapshot's, so every forecast-cache
+        entry keyed on older state is invalidated. Out-of-order
+        observations for steps still inside the restored window merge
+        normally afterwards.
+        """
+        fmt = payload.get("format_version")
+        if fmt != self.SNAPSHOT_FORMAT:
+            raise StateError(
+                f"unsupported snapshot format {fmt!r} (expected {self.SNAPSHOT_FORMAT})"
+            )
+        for field in ("num_nodes", "num_features", "input_length", "steps_per_day"):
+            if int(payload[field]) != getattr(self, field):
+                raise StateError(
+                    f"snapshot {field}={payload[field]} does not match "
+                    f"store {field}={getattr(self, field)}"
+                )
+        values = np.asarray(payload["values"], dtype=default_dtype())
+        mask = np.asarray(payload["mask"], dtype=default_dtype())
+        shape = (self.input_length, self.num_nodes, self.num_features)
+        if values.shape != shape or mask.shape != shape:
+            raise StateError(
+                f"snapshot arrays must be {shape}, got {values.shape}/{mask.shape}"
+            )
+        newest = int(payload["newest_step"])
+        with self._lock:
+            steps = np.arange(newest - self.input_length + 1, newest + 1)
+            rows = steps % self.input_length
+            self._values[rows] = values
+            self._mask[rows] = mask
+            self._newest = newest
+            self._start_step = int(payload["start_step"])
+            counters = payload.get("counters", {})
+            self._observations = int(counters.get("observations", 0))
+            self._stale_dropped = int(counters.get("stale_dropped", 0))
+            self._cold_resets = int(counters.get("cold_resets", 0))
+            self._duplicates = int(counters.get("duplicates", 0))
+            self._last_seen = np.asarray(payload["last_seen"], dtype=np.int64)
+            self._seen_ever = np.asarray(payload["seen_ever"], dtype=bool)
+            self._version = max(self._version, int(payload["version"])) + 1
+
     def load_history(
         self, data: np.ndarray, mask: np.ndarray | None = None,
         end_step: int | None = None,

@@ -175,6 +175,54 @@ class TestGradMode:
                 raise ValueError("boom")
         assert is_grad_enabled()
 
+    def test_grad_mode_is_thread_local(self):
+        # A worker thread inside no_grad must not disable grad recording
+        # on the main thread (the serving stack runs no-grad forwards on
+        # engine/router threads concurrently with training).
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with no_grad():
+                seen["worker"] = is_grad_enabled()
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=10)
+        try:
+            assert seen["worker"] is False
+            assert is_grad_enabled(), "worker no_grad leaked to main thread"
+        finally:
+            release.set()
+            thread.join()
+        assert is_grad_enabled()
+
+    def test_overlapping_no_grad_across_threads_restores_cleanly(self):
+        # Regression: with a process-global flag, two overlapping
+        # contexts on different threads restored their saved values out
+        # of order and left grad recording off for every thread.
+        import threading
+
+        barrier = threading.Barrier(2, timeout=10)
+
+        def worker():
+            with no_grad():
+                barrier.wait()  # overlap with the main thread's context
+                barrier.wait()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        with no_grad():
+            barrier.wait()
+        barrier.wait()
+        thread.join()
+        assert is_grad_enabled()
+
 
 class TestShapeOps:
     def test_reshape_roundtrip_grad(self):

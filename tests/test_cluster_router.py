@@ -1,0 +1,243 @@
+"""Router edge cases: unknown nodes, partial scatter-gather, failover.
+
+The satellite acceptance list, verbatim:
+
+* unknown node id -> 404 with a shard-map hint (observe and forecast);
+* one shard down -> degraded 200 with ``X-Degraded``, never a 500;
+* halo-node observations are duplicated to every holder;
+* aggregate /healthz flips to degraded; /metrics merges per-shard
+  expositions with disjoint ``{shard="sN"}`` labels.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autodiff import dtype_policy
+from repro.serve.cluster import ClusterConfig, LocalCluster, make_demo_bundle
+
+NUM_NODES = 32
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    path = tmp_path_factory.mktemp("router") / "bundle"
+    # construct under float64, then release the policy before yielding
+    # (it is process-global; holding it across yield leaks into other
+    # fixtures built while this module runs)
+    with dtype_policy("float64"):
+        bundle = make_demo_bundle(str(path), num_nodes=NUM_NODES, seed=0)
+    return bundle
+
+
+@pytest.fixture()
+def cluster(bundle):
+    with dtype_policy("float64"):
+        c = LocalCluster(bundle, config=ClusterConfig(num_shards=2))
+    with c:
+        yield c
+
+
+def observe_all(cluster, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    for step in range(steps):
+        body = json.dumps({
+            "step": step,
+            "values": rng.normal(60.0, 3.0, size=(NUM_NODES, 1)).tolist(),
+        }).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 200
+    return steps
+
+
+class TestUnknownNode:
+    def test_forecast_unknown_node_is_404_with_shard_map(self, cluster):
+        response = cluster.handle("GET", "/forecast?node=99", None, None)
+        assert response.status == 404
+        assert "unknown node 99" in response.body["error"]
+        hint = response.body["shard_map"]
+        assert hint["num_nodes"] == NUM_NODES
+        assert hint["num_shards"] == 2
+        assert "hint" in hint
+
+    def test_observe_unknown_node_is_404_with_shard_map(self, cluster):
+        body = json.dumps(
+            {"step": 0, "node": -1, "features": [1.0]}
+        ).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 404
+        assert "shard_map" in response.body
+
+    def test_malformed_node_is_400(self, cluster):
+        response = cluster.handle("GET", "/forecast?node=abc", None, None)
+        assert response.status == 400
+
+    def test_unknown_route_is_404(self, cluster):
+        assert cluster.handle("GET", "/nope", None, None).status == 404
+
+    def test_bad_json_is_400(self, cluster):
+        response = cluster.handle("POST", "/observe", b"{nope", None)
+        assert response.status == 400
+
+    def test_wrong_row_count_is_400(self, cluster):
+        body = json.dumps({"step": 0, "values": [[1.0]] * 3}).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 400
+        assert str(NUM_NODES) in response.body["error"]
+
+
+class TestHaloWrites:
+    def test_halo_node_observation_reaches_every_holder(self, cluster):
+        plan = cluster.plan
+        halo_nodes = [
+            node for node in range(NUM_NODES)
+            if len(plan.holders_of(node)) > 1
+        ]
+        assert halo_nodes, "a 2-shard corridor plan must have halo nodes"
+        node = halo_nodes[0]
+        body = json.dumps(
+            {"step": 0, "node": node, "features": [55.5]}
+        ).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 200
+        acks = response.body["shards"]
+        holders = plan.holders_of(node)
+        assert len(acks) == len(holders) >= 2
+        assert all(acks.values())
+        # the value actually landed in each holder's local store row
+        for shard in holders:
+            app = cluster.apps[shard]
+            local = app.retained.index(node)
+            window = app.store.window()
+            assert window.m[-1, local, 0] == 1.0
+            assert window.x[-1, local, 0] == pytest.approx(55.5)
+
+    def test_interior_node_observation_stays_on_one_shard(self, cluster):
+        plan = cluster.plan
+        interior = [
+            node for node in range(NUM_NODES)
+            if len(plan.holders_of(node)) == 1
+        ]
+        assert interior, "corridor interiors must exist"
+        body = json.dumps(
+            {"step": 0, "node": interior[0], "features": [44.0]}
+        ).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 200
+        assert len(response.body["shards"]) == 1
+
+
+class TestPartialScatterGather:
+    def test_one_shard_down_is_degraded_200_never_500(self, cluster):
+        observe_all(cluster, 14)
+        # a clean pass first, so the stale cache has every node
+        clean = cluster.handle("GET", "/forecast", None, None)
+        assert clean.status == 200
+        assert clean.body["degraded"] is None
+        cluster.kill(1)
+        degraded = cluster.handle("GET", "/forecast", None, None)
+        assert degraded.status == 200
+        assert degraded.headers.get("X-Degraded")
+        assert degraded.body["degraded"] in ("failover", "stale")
+        assert degraded.body["missing_nodes"] == []
+        prediction = np.asarray(degraded.body["prediction"], dtype=float)
+        assert prediction.shape[1] == NUM_NODES
+        assert np.isfinite(prediction).all()
+
+    def test_partial_without_stale_reports_missing_nodes(self, cluster):
+        observe_all(cluster, 14)
+        cluster.kill(0)  # no clean pass first: stale cache is empty
+        response = cluster.handle("GET", "/forecast", None, None)
+        assert response.status == 200, "one shard down must not be a 5xx"
+        assert response.headers.get("X-Degraded")
+        dead_interior = [
+            node for node in cluster.plan.nodes_of(0)
+            if len(cluster.plan.holders_of(node)) == 1
+        ]
+        assert set(response.body["missing_nodes"]) == set(dead_interior)
+
+    def test_single_node_failover_via_halo_replica(self, cluster):
+        observe_all(cluster, 14)
+        plan = cluster.plan
+        node = next(
+            n for n in range(NUM_NODES) if len(plan.holders_of(n)) > 1
+        )
+        owner = plan.owner(node)
+        cluster.kill(owner)
+        response = cluster.handle("GET", f"/forecast?node={node}", None, None)
+        assert response.status == 200
+        assert response.headers.get("X-Degraded") == "failover"
+        assert response.body["degraded"] == "failover"
+
+    def test_stale_rung_when_no_live_holder(self, cluster):
+        observe_all(cluster, 14)
+        plan = cluster.plan
+        interior = next(
+            n for n in range(NUM_NODES) if len(plan.holders_of(n)) == 1
+        )
+        fresh = cluster.handle("GET", f"/forecast?node={interior}", None, None)
+        assert fresh.status == 200
+        cluster.kill(0)
+        cluster.kill(1)
+        stale = cluster.handle("GET", f"/forecast?node={interior}", None, None)
+        assert stale.status == 200
+        assert stale.headers.get("X-Degraded") == "stale"
+        np.testing.assert_allclose(
+            np.asarray(stale.body["prediction"], dtype=float).reshape(-1),
+            np.asarray(fresh.body["prediction"], dtype=float)[:, 0].reshape(-1),
+        )
+
+    def test_everything_down_and_cold_is_503_with_retry_after(self, cluster):
+        cluster.kill(0)
+        cluster.kill(1)
+        forecast = cluster.handle("GET", "/forecast?node=3", None, None)
+        assert forecast.status == 503
+        assert forecast.headers.get("Retry-After")
+        body = json.dumps({"step": 0, "node": 3, "features": [1.0]}).encode()
+        observe = cluster.handle("POST", "/observe", body, None)
+        assert observe.status == 503
+        assert observe.headers.get("Retry-After")
+
+    def test_partial_write_sets_degraded_header(self, cluster):
+        plan = cluster.plan
+        node = next(
+            n for n in range(NUM_NODES) if len(plan.holders_of(n)) > 1
+        )
+        replica = [s for s in plan.holders_of(node) if s != plan.owner(node)][0]
+        cluster.kill(replica)
+        body = json.dumps({"step": 0, "node": node, "features": [2.0]}).encode()
+        response = cluster.handle("POST", "/observe", body, None)
+        assert response.status == 200
+        assert response.headers.get("X-Degraded") == "partial-write"
+
+
+class TestHealthAndMetrics:
+    def test_healthz_aggregates_and_degrades(self, cluster):
+        healthy = cluster.handle("GET", "/healthz", None, None)
+        assert healthy.status == 200
+        assert healthy.body["status"] == "ok"
+        assert set(healthy.body["shards"]) == {"s0", "s1"}
+        cluster.kill(1)
+        degraded = cluster.handle("GET", "/healthz", None, None)
+        assert degraded.status == 200, "health endpoint itself never fails"
+        assert degraded.body["status"] == "degraded"
+        assert degraded.body["shards"]["s1"]["status"] == "down"
+
+    def test_metrics_merge_with_disjoint_shard_labels(self, cluster):
+        observe_all(cluster, 3)
+        cluster.handle("GET", "/forecast", None, None)
+        response = cluster.handle("GET", "/metrics", None, None)
+        assert response.status == 200
+        text = response.body.body
+        assert 'shard="s0"' in text
+        assert 'shard="s1"' in text
+        lines = [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+        assert len(lines) == len(set(lines)), "merged series must be unique"
+
+    def test_shards_endpoint_reports_plan_and_breakers(self, cluster):
+        response = cluster.handle("GET", "/shards", None, None)
+        assert response.status == 200
+        assert response.body["plan"]["num_shards"] == 2
+        assert len(response.body["clients"]) == 2
+        assert len(response.body["breakers"]) == 2
