@@ -12,7 +12,9 @@ Usage::
     python -m repro.cli export --model RIHGCN --output artifacts/rihgcn
     python -m repro.cli serve --bundle artifacts/rihgcn --port 8787 --trace-sample 0.1
     python -m repro.cli chaos --bundle artifacts/rihgcn --error-rate 0.05
-    python -m repro.cli traces http://127.0.0.1:8787 --limit 5
+    python -m repro.cli traces http://127.0.0.1:8787 --limit 5 --critical-path
+    python -m repro.cli slo http://127.0.0.1:8787
+    python -m repro.cli slo-smoke --bundle artifacts/rihgcn --report slo.json
     python -m repro.cli cluster --bundle artifacts/gcnlstm --shards 2
     python -m repro.cli cluster-smoke --shards 2 --report smoke.json
 
@@ -124,6 +126,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-queue-depth", type=int, default=None,
                        help="bound on queued forecasts (0 = unbounded)")
 
+    def add_observability_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-slo", action="store_true",
+                       help="disable the SLO burn-rate engine and /slo")
+        p.add_argument("--slo-latency-ms", type=float, default=None,
+                       help="latency objective threshold (default 250ms)")
+        p.add_argument("--profile-hz", type=float, default=None,
+                       help="continuous-profiler sample rate (0 = off)")
+        p.add_argument("--exemplars", action="store_true",
+                       help="attach trace-id exemplars to /metrics buckets")
+
     p = sub.add_parser(
         "serve",
         help="serve forecasts from a bundle over HTTP (see docs/SERVING.md)",
@@ -141,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-export", type=str, default=None,
                    help="append finished spans to this JSONL file")
     add_resilience_flags(p)
+    add_observability_flags(p)
 
     p = sub.add_parser(
         "chaos",
@@ -236,6 +249,28 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="http(s)://host:port of a server, or a JSONL span file")
     p.add_argument("--limit", type=int, default=None,
                    help="only the most recent N traces")
+    p.add_argument("--critical-path", action="store_true",
+                   help="append per-trace critical-path phase attribution")
+
+    p = sub.add_parser(
+        "slo",
+        help="print SLO budget/burn status from a server's /slo endpoint",
+    )
+    p.add_argument("source", help="http(s)://host:port of a server or router")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw /slo payload instead of the table")
+
+    p = sub.add_parser(
+        "slo-smoke",
+        help="seeded-fault SLO exercise: a burn event must fire, clear, "
+             "and gate a canary (CI gate; see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("--bundle", required=True,
+                   help="bundle base path from 'export'")
+    p.add_argument("--rounds", type=int, default=30,
+                   help="observe+forecast rounds per phase")
+    p.add_argument("--report", type=str, default=None,
+                   help="also write the JSON report to this path")
 
     p = sub.add_parser("report", help="run everything, emit a Markdown report")
     p.add_argument("--output", type=str, default="-",
@@ -301,6 +336,57 @@ def _load_traces(source: str, limit: int | None) -> list[dict]:
     if limit is not None:
         traces = traces[: max(limit, 0)]
     return traces
+
+
+def _fetch_json(source: str, route: str) -> dict:
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(source.rstrip("/") + route) as response:
+        return json.load(response)
+
+
+def _render_slo(payload: dict) -> str:
+    """Render a ``GET /slo`` payload as the operator-facing table."""
+    snapshot = payload.get("slo", payload)
+    lines = []
+    burning = snapshot.get("burning", [])
+    lines.append(
+        "SLO status: "
+        + (f"BURNING ({', '.join(burning)})" if burning else "all budgets ok")
+    )
+    for name, entry in snapshot.get("objectives", {}).items():
+        objective = entry["objective"]
+        left = entry["budget_remaining"]
+        total = entry["good_total"] + entry["bad_total"]
+        rule_bits = []
+        for rule in entry["rules"]:
+            flag = "!" if rule["burning"] else ""
+            rule_bits.append(
+                f"{rule['rule']} {rule['burn_short']:.1f}x/"
+                f"{rule['burn_long']:.1f}x{flag}"
+            )
+        lines.append(
+            f"  {name:<16} target {objective['target']:.2%}  "
+            f"budget left {left:7.1%}  events {total}  "
+            f"burn {'; '.join(rule_bits)}"
+        )
+        for event in entry.get("active_burns", []):
+            lines.append(
+                f"    firing: rule {event['rule']} at "
+                f"{event['burn_short']:.1f}x (threshold {event['threshold']:g}x)"
+            )
+    canaries = payload.get("canaries", {})
+    if canaries:
+        lines.append("canary rollouts:")
+        for tenant, entry in canaries.items():
+            reason = f" — {entry['reason']}" if entry.get("reason") else ""
+            lines.append(f"  {tenant}: {entry['state']}{reason}")
+            slo = entry.get("slo") or {}
+            fired = slo.get("burn_events_total", 0)
+            if fired:
+                lines.append(f"    burn events fired: {fired}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -594,8 +680,40 @@ def main(argv: list[str] | None = None) -> int:
         from .telemetry import format_trace
 
         for trace in _load_traces(args.source, args.limit):
-            print(format_trace(trace))
+            print(format_trace(trace, critical_path=args.critical_path))
             print()
+    elif args.command == "slo":
+        import json
+
+        payload = _fetch_json(args.source, "/slo")
+        if args.json:
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            print(_render_slo(payload))
+        burning = payload.get("slo", payload).get("burning", [])
+        if burning:
+            return 1
+    elif args.command == "slo-smoke":
+        import json
+
+        from .serve import load_bundle, run_slo_smoke
+
+        bundle = load_bundle(args.bundle)
+        print(f"slo smoke: {bundle.model_name}, {args.rounds} rounds per phase")
+        report = run_slo_smoke(bundle, rounds=args.rounds, seed=args.seed)
+        print(f"  burn fired on: {report['burning_during_fault']}")
+        if report["canary"] is not None:
+            print(f"  canary: {report['canary']['state']} "
+                  f"({report['canary']['reason']})")
+        for check, ok in report["checks"].items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, default=str)
+            print(f"report written to {args.report}")
+        print(f"verdict: {'PASS' if report['passed'] else 'FAIL'}")
+        if not report["passed"]:
+            return 1
     elif args.command == "report":
         from .experiments import ReportConfig, generate_report
 

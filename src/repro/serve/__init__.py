@@ -59,6 +59,7 @@ from .loadgen import (
     run_cluster_load,
     run_fleet_smoke,
     run_load,
+    run_slo_smoke,
     zipf_node_sampler,
 )
 from .state import StateStore, StateWindow
@@ -96,6 +97,7 @@ __all__ = [
     "make_chaos_app",
     "run_chaos_soak",
     "run_fleet_smoke",
+    "run_slo_smoke",
     "ClusterLoadReport",
     "open_loop_arrivals",
     "run_cluster_load",

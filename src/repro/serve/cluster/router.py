@@ -16,13 +16,25 @@ last-known-rows cache used as the final failover rung. Request routing:
   them, then the stale cache, then ``null`` (tagged ``partial``) — one
   shard down is a degraded 200, never a 500.
 * ``GET /healthz`` / ``GET /metrics`` — aggregate across shards; shard
-  series stay disjoint thanks to per-shard ``{shard="sN"}`` labels.
+  series stay disjoint thanks to per-shard ``{shard="sN"}`` labels. A
+  shard that fails its scrape mid-restart increments
+  ``cluster_shard_scrape_failures_total{shard="sN"}`` and the merged
+  exposition is served partial rather than erroring.
+* ``GET /traces`` — merged traces: the router's own spans stitched with
+  every live shard's ``/traces`` buffer into single cross-process trees
+  (the router injects ``traceparent`` on every fan-out leg).
+* ``GET /slo`` — the router-level SLO engine's burn/budget snapshot.
+* ``GET /profile`` — collapsed-stack flame data merged across the
+  router and every shard whose continuous profiler is on, each stack
+  prefixed with its owning process label.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import parse_qs, urlparse
 
@@ -32,7 +44,17 @@ from ...autodiff import default_dtype
 from ...errors import ServeError
 from ...graphs import ShardPlan
 from ...reliability import Deadline
-from ...telemetry import MetricRegistry
+from ...telemetry import (
+    ContinuousProfiler,
+    MetricRegistry,
+    SLOEngine,
+    TraceCollector,
+    Tracer,
+    default_serving_objectives,
+    extract_trace_context,
+    inject_trace_context,
+    merge_collapsed,
+)
 from ...telemetry.prometheus import render_prometheus
 from ..http import PlainText, Response
 from .config import ClusterConfig
@@ -73,6 +95,7 @@ class ClusterRouter:
         clients: list,
         config: ClusterConfig | None = None,
         registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if len(clients) != plan.num_shards:
             raise ValueError(
@@ -85,6 +108,20 @@ class ClusterRouter:
             num_shards=plan.num_shards
         )
         self.registry = registry if registry is not None else MetricRegistry()
+        serve = self.config.serve
+        self.tracer = tracer if tracer is not None else Tracer(
+            sample_rate=serve.trace_sample, service="router"
+        )
+        self.slo = (
+            SLOEngine(default_serving_objectives(latency_ms=serve.slo_latency_ms))
+            if serve.slo_enabled
+            else None
+        )
+        self.profiler: ContinuousProfiler | None = None
+        if serve.profile_hz > 0:
+            self.profiler = ContinuousProfiler(
+                interval_s=1.0 / serve.profile_hz, registry=self.registry
+            ).start()
         policy = self.config.serve.resilience
         self.breakers = [
             policy.make_breaker(f"shard{s}", registry=self.registry)
@@ -106,6 +143,8 @@ class ClusterRouter:
         # while it runs would let it race a later training backward in
         # the same process. Deadlines bound how long this can block.
         self._executor.shutdown(wait=True, cancel_futures=True)
+        if self.profiler is not None:
+            self.profiler.stop()
 
     def __enter__(self) -> "ClusterRouter":
         return self
@@ -134,8 +173,17 @@ class ClusterRouter:
         path: str,
         body: bytes | None = None,
         deadline: Deadline | None = None,
+        parent=None,
+        attributes: dict | None = None,
     ) -> Response | None:
-        """One breaker-gated, deadline-clamped request; None on failure."""
+        """One breaker-gated, deadline-clamped request; None on failure.
+
+        With a trace parent (explicit, or the calling thread's current
+        span) the hop runs under a ``shard_call`` span and the outgoing
+        request carries ``traceparent``, stitching the shard's spans
+        into the router's trace. Meta scrapes (/metrics, /traces, ...)
+        have no parent and stay span-free.
+        """
         breaker = self.breakers[shard]
         if breaker is not None and not breaker.allow():
             self.registry.counter(
@@ -147,23 +195,43 @@ class ClusterRouter:
             timeout = deadline.clamp(timeout)
             if timeout <= 0:
                 return None
-        try:
-            response = self.clients[shard].request(
-                method, path, body=body, timeout=timeout
+        parent = parent if parent is not None else Tracer.current_context()
+        if parent is not None:
+            attrs = {"shard": f"s{shard}", "path": path.split("?", 1)[0]}
+            if attributes:
+                attrs.update(attributes)
+            span_cm = self.tracer.span("shard_call", parent=parent, attributes=attrs)
+        else:
+            span_cm = contextlib.nullcontext()
+        with span_cm as span:
+            headers = (
+                inject_trace_context(context=span.context)
+                if span is not None
+                else None
             )
-        except (ShardUnavailable, ServeError, OSError):
+            try:
+                response = self.clients[shard].request(
+                    method, path, body=body, timeout=timeout, headers=headers
+                )
+            except (ShardUnavailable, ServeError, OSError):
+                if breaker is not None:
+                    breaker.record_failure()
+                self.registry.counter(
+                    f'cluster/shard_errors{{shard="s{shard}"}}'
+                ).inc()
+                if span is not None:
+                    span.status = "error"
+                return None
             if breaker is not None:
-                breaker.record_failure()
-            self.registry.counter(
-                f'cluster/shard_errors{{shard="s{shard}"}}'
-            ).inc()
-            return None
-        if breaker is not None:
-            if response.status >= 500:
-                breaker.record_failure()
-            else:
-                breaker.record_success()
-        return response
+                if response.status >= 500:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            if span is not None:
+                span.set_attribute("status", response.status)
+                if response.status >= 500:
+                    span.status = "error"
+            return response
 
     def _fan(
         self,
@@ -171,12 +239,19 @@ class ClusterRouter:
         method: str,
         path: str,
         body: bytes | None = None,
+        attributes: dict | None = None,
     ) -> dict[int, Response | None]:
-        """Issue one request per target shard concurrently."""
+        """Issue one request per target shard concurrently.
+
+        The caller's span context is captured *here*, on the request
+        thread — the executor threads do not inherit the contextvar, so
+        each ``_call`` gets the parent passed explicitly.
+        """
+        parent = Tracer.current_context()
         deadline = Deadline(self.config.shard_deadline_s * 2)
         futures = {
             shard: self._executor.submit(
-                self._call, shard, method, path, body, deadline
+                self._call, shard, method, path, body, deadline, parent, attributes
             )
             for shard in targets
         }
@@ -266,7 +341,10 @@ class ClusterRouter:
             query += f"&horizon={horizon}"
         owner = self.plan.owner(node)
         for holder in self.plan.holders_of(node):
-            response = self._call(holder, "GET", query, None, deadline)
+            response = self._call(
+                holder, "GET", query, None, deadline,
+                attributes={"failover": True} if holder != owner else None,
+            )
             if response is None or response.status != 200:
                 continue
             body = dict(response.body)
@@ -350,7 +428,9 @@ class ClusterRouter:
                     continue
                 csv = ",".join(str(n) for n in held)
                 fallback = self._call(
-                    replica, "GET", f"/forecast?nodes={csv}{suffix.replace('?', '&')}"
+                    replica, "GET",
+                    f"/forecast?nodes={csv}{suffix.replace('?', '&')}",
+                    attributes={"failover": True},
                 )
                 if fallback is None or fallback.status != 200:
                     continue
@@ -446,12 +526,77 @@ class ClusterRouter:
             resp = responses[shard]
             if resp is not None and isinstance(resp.body, PlainText):
                 texts.append(resp.body.body)
-        texts.append(render_prometheus(self.registry))
+            else:
+                # Mid-restart worker: count the failed scrape and keep
+                # serving the other shards' series — a partial merged
+                # exposition beats a 500 to the scraper.
+                self.registry.counter(
+                    f'cluster/shard_scrape_failures{{shard="s{shard}"}}'
+                ).inc()
+        if self.slo is not None:
+            self.slo.publish(self.registry)
+        texts.append(render_prometheus(
+            self.registry, exemplars=self.config.serve.exemplars
+        ))
         merged = merge_prometheus(texts)
         return Response(200, PlainText(
             body=merged,
             content_type="text/plain; version=0.0.4; charset=utf-8",
         ))
+
+    def traces(self, limit: int | None = None) -> Response:
+        """Merged traces: the router's buffer stitched with every shard's."""
+        collector = TraceCollector()
+        collector.add_tracer("router", self.tracer)
+        for shard in range(self.plan.num_shards):
+            collector.add_source(f"s{shard}", self._shard_traces_source(shard))
+        merged = collector.collect(limit=limit)
+        return Response(200, {
+            "traces": merged,
+            "failed_sources": collector.failures,
+        })
+
+    def _shard_traces_source(self, shard: int):
+        def fetch() -> list[dict]:
+            response = self.clients[shard].request(
+                "GET", "/traces", timeout=self.config.shard_deadline_s
+            )
+            if response.status != 200 or not isinstance(response.body, dict):
+                raise ShardUnavailable(
+                    f"shard {shard} /traces returned {response.status}"
+                )
+            return response.body.get("traces", [])
+        return fetch
+
+    def slo_status(self) -> Response:
+        if self.slo is None:
+            return Response(
+                404, {"error": "SLO engine disabled; enable slo_enabled"}
+            )
+        self.slo.publish(self.registry)
+        return Response(200, {"slo": self.slo.snapshot()})
+
+    def profile(self) -> Response:
+        """Cluster flame data: every process's collapsed stacks, prefixed."""
+        sources: dict[str, str] = {}
+        if self.profiler is not None:
+            sources["router"] = self.profiler.collapsed()
+        responses = self._fan(
+            list(range(self.plan.num_shards)), "GET", "/profile"
+        )
+        for shard in sorted(responses):
+            resp = responses[shard]
+            if (
+                resp is not None
+                and resp.status == 200
+                and isinstance(resp.body, PlainText)
+            ):
+                sources[f"s{shard}"] = resp.body.body
+        if not sources:
+            return Response(404, {
+                "error": "no continuous profiler running; set profile_hz > 0"
+            })
+        return Response(200, PlainText(merge_collapsed(sources)))
 
     def shards(self) -> Response:
         return Response(200, {
@@ -466,6 +611,11 @@ class ClusterRouter:
         })
 
     # -- dispatch ------------------------------------------------------
+    #: dispatched span-free: tracing the trace/metric scrapes would
+    #: pollute the very buffers they read (the router samples at the
+    #: configured rate on every serving request).
+    _UNTRACED_ROUTES = frozenset({"/metrics", "/traces", "/slo", "/profile", "/shards"})
+
     def handle(
         self,
         method: str,
@@ -479,6 +629,39 @@ class ClusterRouter:
         self.registry.counter(
             f'cluster/requests{{route="{route.lstrip("/") or "root"}"}}'
         ).inc()
+        if route in self._UNTRACED_ROUTES:
+            return self._route(method, route, query, body)
+        parent = extract_trace_context(headers or {})
+        began = time.perf_counter()
+        with self.tracer.span(
+            "cluster",
+            parent=parent,
+            attributes={"method": method, "route": route},
+        ) as span:
+            response = self._route(method, route, query, body)
+            span.set_attribute("status", response.status)
+            if response.status >= 400:
+                span.status = "error"
+            context = span.context
+        latency_ms = (time.perf_counter() - began) * 1e3
+        self.registry.histogram("cluster/latency_ms").observe(
+            latency_ms, exemplar=context.trace_id if context.sampled else None
+        )
+        if self.slo is not None and route in ("/forecast", "/observe"):
+            self.slo.record_request(
+                response.status,
+                latency_ms=latency_ms,
+                degraded=bool(response.headers.get("X-Degraded")),
+            )
+        return response
+
+    def _route(
+        self,
+        method: str,
+        route: str,
+        query: dict,
+        body: bytes | None,
+    ) -> Response:
         try:
             if method == "POST" and route == "/observe":
                 try:
@@ -517,6 +700,13 @@ class ClusterRouter:
                 return self.healthz()
             if method == "GET" and route == "/metrics":
                 return self.metrics()
+            if method == "GET" and route == "/traces":
+                limit = query.get("limit")
+                return self.traces(int(limit[0]) if limit else None)
+            if method == "GET" and route == "/slo":
+                return self.slo_status()
+            if method == "GET" and route == "/profile":
+                return self.profile()
             if method == "GET" and route == "/shards":
                 return self.shards()
             return Response(404, {"error": f"no route {method} {route}"})

@@ -21,7 +21,7 @@ import numpy as np
 from ...autodiff import default_dtype
 from ...errors import ConfigError, Overloaded, ServeError, StateError
 from ...graphs import ShardPlan
-from ...telemetry import MetricRegistry
+from ...telemetry import MetricRegistry, extract_trace_context
 from ...telemetry.trace import Tracer
 from ..artifact import ModelBundle
 from ..config import DEFAULT_TENANT, ServeConfig
@@ -56,6 +56,13 @@ class ShardApp:
         self.shard = int(shard)
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricRegistry()
+        if tracer is None:
+            # Service-labelled so the router's merged /traces can say
+            # which process each span ran in.
+            tracer = Tracer(
+                sample_rate=self.config.trace_sample, service=f"s{self.shard}"
+            )
+        self.tracer = tracer
         self.owned = plan.nodes_of(shard)
         self.retained = plan.retained_of(shard)
         self._local = {int(g): i for i, g in enumerate(self.retained)}
@@ -83,6 +90,7 @@ class ShardApp:
 
     def stop(self) -> None:
         self.pool.stop()
+        self.inner.close()
 
     def __enter__(self) -> "ShardApp":
         return self.start()
@@ -233,6 +241,12 @@ class ShardApp:
         }, headers)
 
     # -- dispatch ------------------------------------------------------
+    #: handled span-free so the router's observability fan-outs do not
+    #: pollute the shard's trace buffer (matches ServeApp's set, plus
+    #: the snapshot/restore plumbing).
+    _UNTRACED = frozenset({"metrics", "traces", "slo", "profile", "info",
+                           "snapshot", "restore"})
+
     def handle(
         self,
         method: str,
@@ -242,7 +256,33 @@ class ShardApp:
     ) -> Response:
         parsed = urlparse(path)
         route = parsed.path.rstrip("/") or "/"
-        query = parse_qs(parsed.query)
+        if route.rsplit("/", 1)[-1] in self._UNTRACED:
+            return self._handle(method, route, parsed.query, body, headers)
+        # Extract the router's traceparent here so the shard-level span
+        # joins the cluster trace; the inner ServeApp span then nests
+        # under this one via the in-process contextvar.
+        parent = extract_trace_context(headers or {})
+        with self.tracer.span(
+            "shard",
+            parent=parent,
+            attributes={"shard": f"s{self.shard}", "method": method,
+                        "route": route},
+        ) as span:
+            response = self._handle(method, route, parsed.query, body, headers)
+            span.set_attribute("status", response.status)
+            if response.status >= 400:
+                span.status = "error"
+            return response
+
+    def _handle(
+        self,
+        method: str,
+        route: str,
+        query_string: str,
+        body: bytes | None,
+        headers: dict | None,
+    ) -> Response:
+        query = parse_qs(query_string)
         try:
             if method == "GET" and route == "/shard/info":
                 return self.shard_info()
@@ -259,8 +299,9 @@ class ShardApp:
                 return self._forecast(query)
         except StateError as error:
             return Response(400, {"error": str(error)})
+        full_path = route + (f"?{query_string}" if query_string else "")
         if method == "GET" and route == "/healthz":
-            response = self.inner.handle(method, path, body, headers)
+            response = self.inner.handle(method, full_path, body, headers)
             if response.status == 200 and isinstance(response.body, dict):
                 body_out = dict(response.body)
                 body_out["shard"] = {
@@ -270,4 +311,4 @@ class ShardApp:
                 }
                 return Response(response.status, body_out, response.headers)
             return response
-        return self.inner.handle(method, path, body, headers)
+        return self.inner.handle(method, full_path, body, headers)

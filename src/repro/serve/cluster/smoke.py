@@ -1,6 +1,6 @@
-"""Cluster smoke harness: identity control + seeded chaos, one report.
+"""Cluster smoke harness: identity control + seeded chaos + tracing.
 
-Two phases, both against a deterministic corridor-graph demo bundle:
+Three phases, all against a deterministic corridor-graph demo bundle:
 
 1. **Identity** (in-process, float64 policy): the same observation
    stream is fed to a sharded :class:`~.local.LocalCluster` and a
@@ -14,6 +14,13 @@ Two phases, both against a deterministic corridor-graph demo bundle:
    driving, then restart it warmed from a replica snapshot. Aggregate
    availability (2xx responses, degraded included) must stay above
    ``availability_floor``.
+3. **Trace** (same worker mode as chaos): with ``trace_sample=1.0``,
+   kill one shard of a three-shard cluster and issue a single
+   scatter-gather forecast. The router's merged ``/traces`` must hold
+   ONE trace whose spans cover the router service plus at least two
+   shard worker services, including a halo-failover ``shard_call`` hop;
+   the critical-path analyzer must attribute the trace to a dominant
+   phase.
 
 Returns a JSON-ready report; ``report["passed"]`` gates CI.
 """
@@ -22,18 +29,23 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 
 import numpy as np
 
 from ...autodiff import dtype_policy
 from ...graphs import shard_quality
+from ...telemetry import critical_path, format_critical_path
+from ..config import ServeConfig
 from .config import ClusterConfig
 from .demo import corridor_adjacency, make_demo_bundle
 from .local import LocalCluster, build_plan
 from .process import ClusterSupervisor
 
 __all__ = ["run_cluster_smoke"]
+
+_SHARD_SERVICE = re.compile(r"^s\d+$")
 
 
 def _drive_stream(handle, values_stream) -> list:
@@ -208,6 +220,108 @@ def _chaos_phase(
     return report
 
 
+def _trace_services(trace: dict) -> set:
+    return {
+        span.get("service")
+        for span in trace.get("spans", [])
+        if span.get("service")
+    }
+
+
+def _has_failover_hop(trace: dict) -> bool:
+    return any(
+        span.get("name") == "shard_call"
+        and span.get("attributes", {}).get("failover")
+        for span in trace.get("spans", [])
+    )
+
+
+def _trace_phase(
+    workdir: str,
+    num_nodes: int,
+    model_name: str,
+    seed: int,
+    processes: bool,
+    steps: int = 24,
+) -> dict:
+    """One request, one merged cross-process trace, one critical path."""
+    bundle_path = os.path.join(workdir, "trace_bundle.npz")
+    bundle = make_demo_bundle(
+        bundle_path, num_nodes=num_nodes, model_name=model_name, seed=seed
+    )
+    # Three shards so that with one killed, a single scatter-gather
+    # trace still touches two live worker processes plus the failover
+    # leg pulling the victim's boundary rows from a replica's halo.
+    config = ClusterConfig(
+        num_shards=3, serve=ServeConfig(trace_sample=1.0)
+    )
+    plan = build_plan(bundle, config)
+    rng = np.random.default_rng(seed)
+    victim = int(rng.integers(3))
+
+    def drive(handle, kill):
+        _drive_stream(handle, _make_stream(num_nodes, steps, seed))
+        kill()
+        forecast = handle("GET", "/forecast", None, None)
+        traces_resp = handle("GET", "/traces", None, None)
+        return forecast, traces_resp
+
+    if processes:
+        with ClusterSupervisor(bundle_path, plan, config=config) as sup:
+            forecast, traces_resp = drive(
+                sup.handle, lambda: sup.kill_shard(victim)
+            )
+    else:
+        with LocalCluster(bundle, config=config, plan=plan) as cluster:
+            forecast, traces_resp = drive(
+                cluster.handle, lambda: cluster.kill(victim)
+            )
+
+    report: dict = {
+        "victim": victim,
+        "mode": "processes" if processes else "local",
+        "forecast_status": forecast.status,
+        "forecast_degraded": (
+            forecast.body.get("degraded")
+            if isinstance(forecast.body, dict) else None
+        ),
+        "failed_sources": (
+            traces_resp.body.get("failed_sources", [])
+            if isinstance(traces_resp.body, dict) else []
+        ),
+        "merged": False,
+        "failover_hop": False,
+        "dominant_phase": None,
+    }
+    traces = (
+        traces_resp.body.get("traces", [])
+        if isinstance(traces_resp.body, dict) else []
+    )
+    report["num_traces"] = len(traces)
+    for trace in traces:
+        services = _trace_services(trace)
+        shard_services = {s for s in services if _SHARD_SERVICE.match(s)}
+        if (
+            "router" not in services
+            or len(shard_services) < 2
+            or not _has_failover_hop(trace)
+        ):
+            continue
+        path = critical_path(trace)
+        report.update({
+            "merged": True,
+            "failover_hop": True,
+            "trace_id": trace.get("trace_id"),
+            "services": sorted(services),
+            "num_spans": len(trace.get("spans", [])),
+            "dominant_phase": path["dominant_phase"],
+            "phases_ms": path["phases"],
+            "critical_path": format_critical_path(trace),
+        })
+        break
+    return report
+
+
 def run_cluster_smoke(
     workdir: str | None = None,
     num_nodes: int = 48,
@@ -220,8 +334,11 @@ def run_cluster_smoke(
     processes: bool = True,
     availability_floor: float = 0.99,
     requests_per_phase: int = 60,
+    trace: bool | None = None,
 ) -> dict:
-    """Run the identity + chaos smoke; ``report["passed"]`` gates CI."""
+    """Run the identity + chaos + trace smoke; ``report["passed"]`` gates CI."""
+    if trace is None:
+        trace = chaos  # the trace phase kills a shard; identity-only skips it
     owned_dir = None
     if workdir is None:
         owned_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-")
@@ -242,6 +359,10 @@ def run_cluster_smoke(
                 workdir, num_nodes, num_shards, model_name, seed,
                 processes, requests_per_phase,
             )
+        if trace:
+            report["trace"] = _trace_phase(
+                workdir, num_nodes, model_name, seed, processes,
+            )
         checks = {
             "identity_within_tol": report["identity"]["identical"],
             "observations_accepted": report["identity"]["observe_ok"],
@@ -256,6 +377,12 @@ def run_cluster_smoke(
             checks["shard_warmed_from_replica"] = bool(
                 report["chaos"]["warmed"] is not None
                 and report["chaos"]["warmed"] is not False
+            )
+        if trace:
+            checks["merged_trace_spans_processes"] = report["trace"]["merged"]
+            checks["trace_failover_hop"] = report["trace"]["failover_hop"]
+            checks["trace_critical_path"] = (
+                report["trace"]["dominant_phase"] is not None
             )
         report["availability_floor"] = availability_floor
         report["checks"] = checks

@@ -1,11 +1,13 @@
 """Shard clients: how the router reaches a shard.
 
 Two interchangeable implementations of ``request(method, path, body,
-timeout)``: an in-process wrapper around a :class:`~.shard.ShardApp`
-(tier-1 tests, the identity control) and a stdlib HTTP client for real
-worker processes. Transport failures surface as
-:class:`ShardUnavailable` so the router's failover path has one error
-type to catch regardless of transport.
+timeout, headers)``: an in-process wrapper around a
+:class:`~.shard.ShardApp` (tier-1 tests, the identity control) and a
+stdlib HTTP client for real worker processes. ``headers`` carries the
+router's ``traceparent`` across the hop, so a merged trace stitches the
+router span to the shard's spans on both transports. Transport failures
+surface as :class:`ShardUnavailable` so the router's failover path has
+one error type to catch regardless of transport.
 """
 
 from __future__ import annotations
@@ -42,10 +44,11 @@ class LocalShardClient:
         path: str,
         body: bytes | None = None,
         timeout: float | None = None,
+        headers: dict | None = None,
     ) -> Response:
         if self.down:
             raise ShardUnavailable(f"shard {self.app.shard} is down")
-        return self.app.handle(method, path, body, None)
+        return self.app.handle(method, path, body, headers)
 
     def describe(self) -> dict:
         return {"transport": "local", "shard": self.app.shard, "down": self.down}
@@ -65,14 +68,17 @@ class HTTPShardClient:
         path: str,
         body: bytes | None = None,
         timeout: float | None = None,
+        headers: dict | None = None,
     ) -> Response:
         conn = http.client.HTTPConnection(
             self.host, self.port,
             timeout=timeout if timeout is not None else self.default_timeout_s,
         )
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
+            send_headers = {"Content-Type": "application/json"} if body else {}
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=body, headers=send_headers)
             raw = conn.getresponse()
             payload = raw.read()
             content_type = raw.headers.get("Content-Type", "")

@@ -77,6 +77,10 @@ class ServeConfig:
     cache_size: int = 256
     trace_sample: float = 0.0
     trace_export: str | None = None
+    slo_enabled: bool = True
+    slo_latency_ms: float = 250.0
+    profile_hz: float = 0.0  # 0 = continuous profiler off
+    exemplars: bool = False  # trace-id exemplars on /metrics histograms
     quality: QualityThresholds = field(default_factory=QualityThresholds)
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
@@ -94,6 +98,14 @@ class ServeConfig:
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError(
                 f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
+        if self.slo_latency_ms <= 0:
+            raise ConfigError(
+                f"slo_latency_ms must be positive, got {self.slo_latency_ms}"
+            )
+        if not 0.0 <= self.profile_hz <= 1000.0:
+            raise ConfigError(
+                f"profile_hz must be in [0, 1000], got {self.profile_hz}"
             )
         if not isinstance(self.quality, QualityThresholds):
             raise ConfigError(
@@ -116,9 +128,10 @@ class ServeConfig:
 
         Recognised keys (suffix after the prefix): ``HOST``, ``PORT``,
         ``MAX_BATCH_SIZE``, ``MAX_WAIT_MS``, ``CACHE_SIZE``,
-        ``TRACE_SAMPLE``, ``TRACE_EXPORT``, ``DEADLINE_S``,
-        ``RETRY_ATTEMPTS``, ``BREAKER`` (bool), ``BREAKER_OPEN_S``,
-        ``FALLBACK`` (bool), ``MAX_QUEUE_DEPTH``.
+        ``TRACE_SAMPLE``, ``TRACE_EXPORT``, ``SLO`` (bool),
+        ``SLO_LATENCY_MS``, ``PROFILE_HZ``, ``EXEMPLARS`` (bool),
+        ``DEADLINE_S``, ``RETRY_ATTEMPTS``, ``BREAKER`` (bool),
+        ``BREAKER_OPEN_S``, ``FALLBACK`` (bool), ``MAX_QUEUE_DEPTH``.
         """
         env = os.environ if env is None else env
         base = cls()
@@ -158,6 +171,12 @@ class ServeConfig:
                 env, prefix + "TRACE_SAMPLE", float, base.trace_sample
             ),
             trace_export=env.get(prefix + "TRACE_EXPORT", base.trace_export),
+            slo_enabled=_env_value(env, prefix + "SLO", bool, base.slo_enabled),
+            slo_latency_ms=_env_value(
+                env, prefix + "SLO_LATENCY_MS", float, base.slo_latency_ms
+            ),
+            profile_hz=_env_value(env, prefix + "PROFILE_HZ", float, base.profile_hz),
+            exemplars=_env_value(env, prefix + "EXEMPLARS", bool, base.exemplars),
             resilience=resilience,
         )
 
@@ -194,6 +213,10 @@ class ServeConfig:
             cache_size=int(pick("cache_size", base.cache_size)),
             trace_sample=float(pick("trace_sample", base.trace_sample)),
             trace_export=getattr(args, "trace_export", None),
+            slo_enabled=not getattr(args, "no_slo", False),
+            slo_latency_ms=float(pick("slo_latency_ms", base.slo_latency_ms)),
+            profile_hz=float(pick("profile_hz", base.profile_hz)),
+            exemplars=bool(getattr(args, "exemplars", False)),
             resilience=resilience,
         )
 
@@ -277,7 +300,12 @@ class CanaryConfig:
     rollout advances to the next stage, and past the last stage the
     candidate is promoted to primary. Rollback is automatic when the
     candidate's circuit breaker opens, its ``QualityMonitor`` verdict
-    degrades, or its failure ratio exceeds ``max_failure_ratio``.
+    degrades, its failure ratio exceeds ``max_failure_ratio``, or its
+    availability SLO burns: candidate answers feed a dedicated
+    :class:`~repro.telemetry.slo.SLOTracker` with canary-scale windows
+    (``slo_fast_s``/``slo_slow_s``) against ``slo_target``, and a
+    sustained burn past ``slo_burn_threshold`` rolls the stage back
+    (``slo_target=None`` disables the gate).
     """
 
     bundle: str
@@ -286,6 +314,10 @@ class CanaryConfig:
     max_failure_ratio: float = 0.1
     min_failure_samples: int = 5
     seed: int = 0
+    slo_target: float | None = 0.99
+    slo_fast_s: float = 30.0
+    slo_slow_s: float = 300.0
+    slo_burn_threshold: float = 2.0
 
     def __post_init__(self):
         if not self.bundle:
@@ -312,6 +344,19 @@ class CanaryConfig:
             raise ConfigError(
                 f"min_failure_samples must be >= 1, got {self.min_failure_samples}"
             )
+        if self.slo_target is not None and not 0.0 < self.slo_target < 1.0:
+            raise ConfigError(
+                f"slo_target must be in (0, 1) or None, got {self.slo_target}"
+            )
+        if not 0.0 < self.slo_fast_s < self.slo_slow_s:
+            raise ConfigError(
+                f"need 0 < slo_fast_s < slo_slow_s, got "
+                f"{self.slo_fast_s}/{self.slo_slow_s}"
+            )
+        if self.slo_burn_threshold <= 0:
+            raise ConfigError(
+                f"slo_burn_threshold must be positive, got {self.slo_burn_threshold}"
+            )
 
     def to_json_dict(self) -> dict:
         return {
@@ -321,6 +366,10 @@ class CanaryConfig:
             "max_failure_ratio": self.max_failure_ratio,
             "min_failure_samples": self.min_failure_samples,
             "seed": self.seed,
+            "slo_target": self.slo_target,
+            "slo_fast_s": self.slo_fast_s,
+            "slo_slow_s": self.slo_slow_s,
+            "slo_burn_threshold": self.slo_burn_threshold,
         }
 
 

@@ -411,8 +411,14 @@ class ForecastEngine:
         return outcome.value
 
     def _observe_latency(self, start: float) -> None:
+        # Pin the sampled trace id as a bucket exemplar so a slow
+        # histogram bucket on /metrics links straight to its trace.
+        context = Tracer.current_context()
+        exemplar = (
+            context.trace_id if context is not None and context.sampled else None
+        )
         self.registry.histogram(self._m("serve/latency_ms")).observe(
-            (time.perf_counter() - start) * 1e3
+            (time.perf_counter() - start) * 1e3, exemplar=exemplar
         )
 
     def _cache_lookup(self, version: int, horizon: int) -> Forecast | None:

@@ -44,8 +44,11 @@ import numpy as np
 from ..errors import ConfigError, QuotaExceeded, ServeError
 from ..reliability.retry import RetryBudget
 from ..telemetry import (
+    BurnRule,
     MetricRegistry,
+    Objective,
     QualityMonitor,
+    SLOTracker,
     Tracer,
     get_registry,
     get_tracer,
@@ -173,6 +176,7 @@ class _CanaryState:
     total_successes: int = 0
     total_failures: int = 0
     reason: str | None = None
+    slo: SLOTracker | None = None
 
     @property
     def weight(self) -> float:
@@ -195,6 +199,7 @@ class _CanaryState:
                 "total_successes": self.total_successes,
                 "total_failures": self.total_failures,
                 "reason": self.reason,
+                "slo": self.slo.snapshot() if self.slo is not None else None,
             }
 
 
@@ -546,10 +551,32 @@ class EnginePool:
                 runtime, config.bundle, bundle, model, store, role="canary",
                 with_monitor=True,
             )
+            slo = None
+            if config.slo_target is not None:
+                # Canary-scale windows (seconds, not hours): a rollout
+                # decision cannot wait for the serving SLO's 1h window.
+                slo = SLOTracker(
+                    Objective(
+                        name=f"canary:{tenant}",
+                        target=config.slo_target,
+                        kind="availability",
+                        description="canary candidate availability",
+                    ),
+                    rules=(
+                        BurnRule(
+                            "canary",
+                            short_s=config.slo_fast_s,
+                            long_s=config.slo_slow_s,
+                            burn_threshold=config.slo_burn_threshold,
+                            min_events=max(1, config.min_failure_samples),
+                        ),
+                    ),
+                )
             canary = _CanaryState(
                 config=config,
                 runtime=candidate,
                 rng=np.random.default_rng(config.seed),
+                slo=slo,
             )
             runtime.canary = canary
         if runtime.engine.running:
@@ -564,6 +591,8 @@ class EnginePool:
         with canary.lock:
             if canary.state != CANARY_RUNNING:
                 return
+            if canary.slo is not None:
+                canary.slo.record(ok)
             if ok:
                 canary.stage_successes += 1
                 canary.total_successes += 1
@@ -598,9 +627,25 @@ class EnginePool:
     def _check_canary_health(
         self, runtime: _TenantRuntime, canary: _CanaryState
     ) -> None:
-        """Breaker and data-quality rollback triggers, checked per request."""
+        """SLO-burn, breaker and quality rollback triggers, per request."""
         with canary.lock:
             if canary.state != CANARY_RUNNING:
+                return
+            # SLO burn first, so the rollback reason cites the budget
+            # burn even when the breaker trips in the same window.
+            if canary.slo is not None and canary.slo.burning():
+                burns = canary.slo.active_burns()
+                rate = burns[0]["burn_short"] if burns else 0.0
+                self._rollback_locked(
+                    runtime, canary,
+                    f"candidate SLO burn: error-budget burn rate {rate:.1f}x "
+                    f"crossed {canary.config.slo_burn_threshold:g}x "
+                    f"(target {canary.config.slo_target:g})",
+                )
+                # Publish now: the canary stops recording after rollback,
+                # so this is the scrape that lands the burn-event counter
+                # and burning gauge in the registry.
+                self._publish_canary(runtime.name, canary)
                 return
             breaker = canary.runtime.engine.breaker
             if breaker is not None and breaker.state == "open":
@@ -678,6 +723,10 @@ class EnginePool:
     def _publish_canary(self, tenant: str, canary: _CanaryState) -> None:
         self._gauge("fleet/canary_weight", tenant).set(canary.weight)
         self._gauge("fleet/canary_stage", tenant).set(float(canary.stage_index))
+        if canary.slo is not None:
+            labels = self._fleet_labels(tenant)
+            if labels is not None:
+                canary.slo.publish(self.registry, labels=label_block(labels))
 
     # ------------------------------------------------------------------
     # Shadow deployment
@@ -722,7 +771,12 @@ class EnginePool:
         if shadow is None:
             return
         try:
-            self._shadow_queue.put_nowait((runtime.name, live.horizon, live))
+            # Capture the live request's span context here, on the
+            # request thread — the contextvar does not cross into the
+            # shadow worker, so the mirror span re-parents explicitly.
+            self._shadow_queue.put_nowait(
+                (runtime.name, live.horizon, live, Tracer.current_context())
+            )
         except queue.Full:
             with shadow.lock:
                 shadow.dropped += 1
@@ -738,7 +792,9 @@ class EnginePool:
             finally:
                 self._shadow_queue.task_done()
 
-    def _mirror_one(self, tenant: str, horizon: int, live: Forecast) -> None:
+    def _mirror_one(
+        self, tenant: str, horizon: int, live: Forecast, parent=None
+    ) -> None:
         try:
             runtime = self._tenants[tenant]
         except KeyError:
@@ -750,9 +806,14 @@ class EnginePool:
         with shadow.lock:
             shadow.mirrored += 1
         try:
-            mirrored = shadow.runtime.engine.forecast(
-                horizon=horizon, timeout=None
-            )
+            with self.tracer.span(
+                "shadow_mirror",
+                parent=parent,
+                attributes={"tenant": tenant, "role": "shadow"},
+            ):
+                mirrored = shadow.runtime.engine.forecast(
+                    horizon=horizon, timeout=None
+                )
         except Exception:
             with shadow.lock:
                 shadow.errors += 1
@@ -871,6 +932,20 @@ class EnginePool:
 
     def tenants_snapshot(self) -> dict:
         return {name: self.tenant_snapshot(name) for name in self.tenants()}
+
+    def canary_slo_snapshots(self) -> dict:
+        """Per-tenant canary SLO tracker snapshots for ``GET /slo``."""
+        out: dict = {}
+        for name in self.tenants():
+            runtime = self.runtime(name)
+            canary = runtime.canary
+            if canary is not None and canary.slo is not None:
+                out[name] = {
+                    "state": canary.state,
+                    "reason": canary.reason,
+                    "slo": canary.slo.snapshot(),
+                }
+        return out
 
     def rollouts_snapshot(self) -> dict:
         out: dict = {}

@@ -19,6 +19,12 @@ A deliberately small JSON API on :class:`http.server.ThreadingHTTPServer`
   legacy JSON snapshot. Fleet series carry a ``tenant`` label.
 * ``GET /traces?limit=10`` — recent finished traces from the tracer
   buffer, grouped per trace (pretty-print them with ``repro traces``).
+* ``GET /slo`` — the SLO engine's snapshot: per-objective burn rates,
+  error-budget remaining, active and recent burn events, plus any
+  in-flight canary's SLO tracker (render with ``repro slo``).
+* ``GET /profile`` — the continuous profiler's collapsed-stack flame
+  data (``?format=json`` for the full snapshot); 404 while
+  ``profile_hz`` is 0.
 * ``GET /tenants`` — one summary per tenant: bundle, version, warm-up,
   quota counters.
 * ``GET /rollouts`` — live shadow/canary state per tenant;
@@ -56,6 +62,7 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -75,9 +82,13 @@ from ..errors import (
 from ..reliability import OPEN
 from ..telemetry import (
     PROMETHEUS_CONTENT_TYPE,
+    ContinuousProfiler,
     MetricRegistry,
     QualityMonitor,
+    SLOEngine,
     Tracer,
+    default_serving_objectives,
+    extract_trace_context,
     get_registry,
     get_tracer,
     render_prometheus,
@@ -153,6 +164,7 @@ class ServeApp:
         quality: QualityMonitor | None = None,
         config: ServeConfig | None = None,
         pool: EnginePool | None = None,
+        slo: SLOEngine | None = None,
         **removed,
     ):
         if removed:
@@ -182,7 +194,18 @@ class ServeApp:
             config = config if config is not None else ServeConfig()
             self.config = config
             self.registry = registry if registry is not None else get_registry()
-            self.tracer = tracer if tracer is not None else get_tracer()
+            if tracer is not None:
+                self.tracer = tracer
+            elif config.trace_sample > 0:
+                # Honour the config like ShardApp/ClusterRouter do; the
+                # zero-sampled global tracer stays the default otherwise.
+                self.tracer = Tracer(
+                    sample_rate=config.trace_sample,
+                    export_path=config.trace_export,
+                    service="serve",
+                )
+            else:
+                self.tracer = get_tracer()
             if engine is not None and store is not None and engine.store is not store:
                 raise ValueError("engine and app must share one state store")
             if engine is not None and store is None:
@@ -200,6 +223,24 @@ class ServeApp:
                 engine=engine,
                 monitor=quality,
             )
+        if slo is not None:
+            self.slo: SLOEngine | None = slo
+        elif self.config.slo_enabled:
+            self.slo = SLOEngine(
+                default_serving_objectives(latency_ms=self.config.slo_latency_ms)
+            )
+        else:
+            self.slo = None
+        self.profiler: ContinuousProfiler | None = None
+        if self.config.profile_hz > 0:
+            self.profiler = ContinuousProfiler(
+                interval_s=1.0 / self.config.profile_hz, registry=self.registry
+            ).start()
+
+    def close(self) -> None:
+        """Stop background observers (the continuous profiler)."""
+        if self.profiler is not None:
+            self.profiler.stop()
 
     # ------------------------------------------------------------------
     # Default-tenant aliases: the chaos soak, the load generator and the
@@ -237,7 +278,10 @@ class ServeApp:
     # ------------------------------------------------------------------
     def _inspect_quality(self, runtime):
         """Refresh the tenant's quality monitor from its live window."""
-        return runtime.monitor.update(runtime.store.window(), store=runtime.store)
+        report = runtime.monitor.update(runtime.store.window(), store=runtime.store)
+        if self.slo is not None:
+            self.slo.record_quality(report)
+        return report
 
     def _retry_after(self, runtime, error: BaseException | None = None) -> dict:
         """``Retry-After`` header for rejected/unavailable responses."""
@@ -280,20 +324,47 @@ class ServeApp:
             body["tenants"] = self.pool.tenants()
         return Response(200, body)
 
-    def metrics(self, as_json: bool = False) -> Response:
+    def metrics(
+        self, as_json: bool = False, exemplars: bool | None = None
+    ) -> Response:
         for name in self.pool.tenants():
             runtime = self._runtime(name)
             self._inspect_quality(runtime)
             runtime.engine.reliability_snapshot()  # refresh breaker gauges
+        if self.slo is not None:
+            self.slo.publish(self.registry)
         if as_json:
             return Response(200, self.registry.snapshot())
+        if exemplars is None:
+            exemplars = self.config.exemplars
         return Response(200, PlainText(
-            body=render_prometheus(self.registry),
+            body=render_prometheus(self.registry, exemplars=exemplars),
             content_type=PROMETHEUS_CONTENT_TYPE,
         ))
 
     def traces(self, limit: int | None = None) -> Response:
         return Response(200, {"traces": self.tracer.traces(limit=limit)})
+
+    def slo_status(self) -> Response:
+        if self.slo is None:
+            return Response(
+                404, {"error": "SLO engine disabled; enable slo_enabled"}
+            )
+        self.slo.publish(self.registry)
+        body = {"slo": self.slo.snapshot()}
+        canaries = self.pool.canary_slo_snapshots()
+        if canaries:
+            body["canaries"] = canaries
+        return Response(200, body)
+
+    def profile(self, as_json: bool = False) -> Response:
+        if self.profiler is None:
+            return Response(
+                404, {"error": "continuous profiler off; set profile_hz > 0"}
+            )
+        if as_json:
+            return Response(200, self.profiler.snapshot())
+        return Response(200, PlainText(self.profiler.collapsed()))
 
     def tenants(self) -> Response:
         return Response(200, {"tenants": self.pool.tenants_snapshot()})
@@ -393,6 +464,11 @@ class ServeApp:
             return query_tenant, route
         return self._default_name(), route
 
+    #: meta routes observed span-free: the router fans /metrics and
+    #: /traces scrapes to every worker at sample rate 1.0, and tracing
+    #: those fetches would flood the very buffers they read.
+    _UNTRACED_ROUTES = frozenset({"/metrics", "/traces", "/slo", "/profile"})
+
     def handle(
         self,
         method: str,
@@ -403,14 +479,31 @@ class ServeApp:
         """Dispatch one request; exceptions become JSON error responses."""
         parsed = urlparse(path)
         route = parsed.path.rstrip("/") or "/"
+        if "/" + route.rsplit("/", 1)[-1] in self._UNTRACED_ROUTES:
+            return self._route(method, route, parsed.query, body, headers)
+        # Parent precedence: an in-process caller (the cluster shard's
+        # wrapping span) wins over a traceparent header; with neither —
+        # or a malformed header — this span starts a fresh root trace.
+        parent = Tracer.current_context()
+        if parent is None:
+            parent = extract_trace_context(headers or {})
+        began = time.perf_counter()
         with self.tracer.span(
-            "http", attributes={"method": method, "route": route}
+            "http",
+            parent=parent,
+            attributes={"method": method, "route": route},
         ) as span:
             response = self._route(method, route, parsed.query, body, headers)
             span.set_attribute("status", response.status)
             if response.status >= 400:
                 span.status = "error"
-            return response
+        if self.slo is not None and route.split("/")[-1] in ("forecast", "observe"):
+            self.slo.record_request(
+                response.status,
+                latency_ms=(time.perf_counter() - began) * 1e3,
+                degraded=bool(response.headers.get("X-Degraded")),
+            )
+        return response
 
     def _parse_json(self, body: bytes | None) -> dict | Response:
         try:
@@ -445,10 +538,18 @@ class ServeApp:
                         },
                     )
             if method == "GET" and route == "/metrics":
-                return self.metrics(as_json=self._wants_json(query, headers))
+                raw = query.get("exemplars", [""])[0].lower()
+                exemplars = None if not raw else raw in ("1", "true", "yes", "on")
+                return self.metrics(
+                    as_json=self._wants_json(query, headers), exemplars=exemplars
+                )
             if method == "GET" and route == "/traces":
                 limit = query.get("limit")
                 return self.traces(int(limit[0]) if limit else None)
+            if method == "GET" and route == "/slo":
+                return self.slo_status()
+            if method == "GET" and route == "/profile":
+                return self.profile(as_json=self._wants_json(query, headers))
             if method == "GET" and route == "/tenants":
                 return self.tenants()
             if method == "GET" and route == "/rollouts":
@@ -605,3 +706,4 @@ def run_server(
         server.shutdown()
         server.server_close()
         app.pool.stop()
+        app.close()

@@ -28,7 +28,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from ..reliability import ChaosModel, ChaosStore, FaultPlan
+from ..reliability import ChaosModel, ChaosStore, FaultPlan, ResiliencePolicy
 from ..telemetry import MetricRegistry
 from .artifact import ModelBundle
 from .config import ServeConfig
@@ -42,6 +42,7 @@ __all__ = [
     "make_chaos_app",
     "run_chaos_soak",
     "run_fleet_smoke",
+    "run_slo_smoke",
     "open_loop_arrivals",
     "zipf_node_sampler",
     "ClusterLoadReport",
@@ -559,6 +560,251 @@ def run_fleet_smoke(
             and report["gamma_traffic"]["retry_after"] is not None
         ),
         "per_tenant_metrics": not report["missing_series"],
+    }
+    report["checks"] = checks
+    report["passed"] = all(checks.values())
+    return report
+
+
+# ----------------------------------------------------------------------
+# SLO smoke
+# ----------------------------------------------------------------------
+def run_slo_smoke(
+    bundle: ModelBundle,
+    rounds: int = 30,
+    seed: int = 0,
+    value_scale: float = 60.0,
+    registry: MetricRegistry | None = None,
+) -> dict:
+    """Seeded-fault SLO exercise: a burn event fires, clears, and gates a canary.
+
+    Drives the full :class:`~repro.serve.http.ServeApp` request path in
+    four phases against a single labelled tenant whose model sits behind
+    a seeded :class:`~repro.reliability.chaos.FaultInjector`:
+
+    1. **healthy** — clean traffic; nothing may burn;
+    2. **fault** — the injector's plan is swapped to a high error rate,
+       so forecasts fall back to degraded answers and a burn event must
+       fire (visible on ``GET /slo`` and as ``repro_slo_*`` series on
+       ``/metrics``);
+    3. **recovery** — the benign plan is restored and the clock jumps
+       past the short window, so the event must resolve;
+    4. **canary gate** — a canary rollout whose candidate model errors
+       must be rolled back by the SLO-burn gate (the failure-*ratio*
+       threshold is set so high it cannot be the trigger), with the
+       rollback reason citing the burn and the ``canary:alpha`` tracker
+       series landing on ``/metrics``.
+
+    The app-level SLO engine runs on an injected clock with compressed
+    windows (60s/600s), so phases 1–3 are deterministic and take no wall
+    time; the canary tracker uses its production defaults on the real
+    clock, which the request loop outruns by orders of magnitude.
+
+    Returns a JSON-ready report; ``report["passed"]`` gates CI.
+    """
+    from ..telemetry.slo import BurnRule, SLOEngine, default_serving_objectives
+    from .config import CanaryConfig
+    from .fleet import EnginePool
+    from .http import ServeApp
+
+    registry = registry if registry is not None else MetricRegistry()
+
+    # Injectable clock: requests are stamped by hand, and "waiting out"
+    # the short window is a single assignment, not a real 60s sleep.
+    clock = [0.0]
+    slo = SLOEngine(
+        default_serving_objectives(),
+        rules=(
+            BurnRule(
+                "fast", short_s=60.0, long_s=600.0,
+                burn_threshold=2.0, min_events=10,
+            ),
+        ),
+        clock=lambda: clock[0],
+        bucket_s=5.0,
+    )
+
+    # Benign plan first; swapping ``injector.plan`` mid-run toggles the
+    # fault without rebuilding the engine (the injector re-reads it per
+    # decision).
+    injector = FaultPlan(seed=seed).injector()
+    # Breaker off for the live tenant: its open window is real seconds,
+    # which would keep recovery-phase answers degraded long after the
+    # fault plan is restored. The smoke tests SLO window math, and the
+    # clock it controls is the SLO engine's — not the breaker's.
+    config = ServeConfig(
+        resilience=ResiliencePolicy(breaker=False),
+    )
+    store = ChaosStore(bundle.make_store(registry=registry), injector)
+    pool = EnginePool(registry=registry)
+    engine = ForecastEngine(
+        model=ChaosModel(bundle.model, injector),
+        scaler=bundle.scaler,
+        store=store,
+        max_batch_size=config.max_batch_size,
+        max_wait_s=config.max_wait_s,
+        cache_size=config.cache_size,
+        registry=registry,
+        policy=config.resilience,
+        labels={"tenant": "alpha"},
+        name="model:alpha",
+    )
+    pool.add_tenant(
+        "alpha", bundle, config=config, bundle_ref="bundle_a",
+        store=store, engine=engine,
+    )
+    app = ServeApp(pool=pool, slo=slo)
+
+    rng = np.random.default_rng(seed)
+    runtime = pool.runtime("alpha")
+    next_step = [0]
+
+    def drive(n: int, tick_s: float = 2.0) -> dict:
+        counts = {"ok": 0, "degraded": 0, "rejected": 0, "server_errors": 0}
+        for _ in range(n):
+            clock[0] += tick_s
+            step = next_step[0]
+            next_step[0] += 1
+            values = rng.normal(
+                value_scale, 5.0,
+                size=(runtime.store.num_nodes, runtime.store.num_features),
+            )
+            body = json.dumps({"step": step, "values": values.tolist()}).encode()
+            app.handle("POST", "/t/alpha/observe", body)
+            response = app.handle("GET", "/t/alpha/forecast", None)
+            if response.status == 200:
+                counts["ok"] += 1
+                if response.headers.get("X-Degraded"):
+                    counts["degraded"] += 1
+            elif response.status == 429:
+                counts["rejected"] += 1
+            elif response.status >= 500:
+                counts["server_errors"] += 1
+        return counts
+
+    def series_value(text: str, series: str) -> float | None:
+        for line in text.splitlines():
+            if line.startswith(series + " "):
+                return float(line.split(" # ")[0].rsplit(" ", 1)[-1])
+        return None
+
+    report: dict = {"rounds": rounds, "seed": seed}
+    with pool:
+        for offset in range(runtime.store.input_length):
+            values = rng.normal(
+                value_scale, 5.0,
+                size=(runtime.store.num_nodes, runtime.store.num_features),
+            )
+            pool.observe("alpha", offset, values)
+        next_step[0] = runtime.store.newest_step + 1
+
+        # 1: clean traffic leaves every objective quiet.
+        report["healthy_traffic"] = drive(rounds)
+        report["healthy_burning"] = slo.burning()
+
+        # 2: seeded fault — forecasts degrade, a burn event must fire.
+        injector.plan = FaultPlan(seed=seed, error_rate=0.9)
+        report["fault_traffic"] = drive(rounds)
+        report["burning_during_fault"] = slo.burning()
+        during = app.handle("GET", "/metrics", None).body.body
+        report["burning_gauges_during_fault"] = {
+            name: series_value(during, f'repro_slo_burning{{slo="{name}"}}')
+            for name in report["burning_during_fault"]
+        }
+        slo_during = app.handle("GET", "/slo", None)
+        report["slo_endpoint_during_fault"] = {
+            "status": slo_during.status,
+            "burning": slo_during.body["slo"]["burning"],
+        }
+
+        # 3: restore the benign plan and jump past the short window —
+        # the short-window burn rate collapses to 0 and the event clears.
+        injector.plan = FaultPlan(seed=seed)
+        clock[0] += 120.0
+        report["recovery_traffic"] = drive(rounds, tick_s=1.0)
+        report["burning_after_recovery"] = slo.burning()
+        report["burn_events_total"] = sum(
+            tracker.fired_total for tracker in slo.trackers.values()
+        )
+        report["resolved_events"] = sum(
+            1
+            for tracker in slo.trackers.values()
+            for event in tracker.events
+            if event["state"] == "resolved"
+        )
+
+        # 4: a canary whose candidate errors must be SLO-gated. The
+        # failure-ratio trigger is parked at 0.99 so the burn gate — not
+        # the ratio check — is what rolls the stage back.
+        canary_injector = FaultPlan(seed=seed + 1, error_rate=0.5).injector()
+        pool.start_canary(
+            "alpha",
+            CanaryConfig(
+                bundle="bundle_b", stages=(1.0,), stage_requests=10_000,
+                max_failure_ratio=0.99, min_failure_samples=5, seed=seed,
+            ),
+            bundle=bundle,
+            model=ChaosModel(bundle.model, canary_injector),
+        )
+        report["canary_traffic"] = drive(rounds)
+        canary = runtime.canary
+        report["canary"] = canary.snapshot() if canary is not None else None
+
+        slo_response = app.handle("GET", "/slo", None)
+        report["slo_endpoint"] = {
+            "status": slo_response.status,
+            "burning": slo_response.body["slo"]["burning"],
+            "canaries": {
+                name: {"state": entry["state"], "reason": entry["reason"]}
+                for name, entry in slo_response.body.get("canaries", {}).items()
+            },
+        }
+        metrics = app.handle("GET", "/metrics", None).body.body
+        report["canary_burn_events_series"] = series_value(
+            metrics,
+            'repro_slo_burn_events_total{slo="canary:alpha",tenant="alpha"}',
+        )
+        report["missing_series"] = [
+            series
+            for series in (
+                'repro_slo_error_budget_remaining{slo="availability"}',
+                'repro_slo_burning{slo="degraded_ratio"}',
+                'repro_slo_burn_events_total{slo="canary:alpha",tenant="alpha"}',
+            )
+            if series_value(metrics, series) is None
+        ]
+
+    canary_reason = (report["canary"] or {}).get("reason") or ""
+    checks = {
+        "healthy_no_burn": not report["healthy_burning"],
+        "burn_fired": bool(report["burning_during_fault"]),
+        "burn_on_slo_endpoint": (
+            report["slo_endpoint_during_fault"]["status"] == 200
+            and bool(report["slo_endpoint_during_fault"]["burning"])
+        ),
+        "burn_gauge_on_metrics": any(
+            value == 1.0
+            for value in report["burning_gauges_during_fault"].values()
+        ),
+        "burn_cleared": (
+            not report["burning_after_recovery"]
+            and report["resolved_events"] >= 1
+            and report["burn_events_total"] >= 1
+        ),
+        "canary_rolled_back_on_slo": (
+            report["canary"] is not None
+            and report["canary"]["state"] == "rolled_back"
+            and "SLO burn" in canary_reason
+        ),
+        "canary_on_slo_endpoint": (
+            report["slo_endpoint"]["canaries"].get("alpha", {}).get("state")
+            == "rolled_back"
+        ),
+        "canary_burn_on_metrics": (
+            report["canary_burn_events_series"] is not None
+            and report["canary_burn_events_series"] >= 1.0
+        ),
+        "slo_series_on_metrics": not report["missing_series"],
     }
     report["checks"] = checks
     report["passed"] = all(checks.values())

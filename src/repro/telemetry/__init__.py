@@ -9,6 +9,15 @@ Five layers, usable independently:
 * :mod:`repro.telemetry.trace` — request tracing: trace/span IDs with
   parent links and cross-trace links, contextvar propagation, sampling,
   a bounded in-memory buffer and a JSONL exporter (:class:`Tracer`);
+* :mod:`repro.telemetry.distributed` — cross-process propagation:
+  W3C-style ``traceparent`` inject/extract, merged-trace stitching
+  (:class:`TraceCollector`) and the critical-path latency analyzer;
+* :mod:`repro.telemetry.slo` — declarative objectives with
+  multi-window multi-burn-rate evaluation and error-budget accounting
+  (:class:`SLOTracker` / :class:`SLOEngine`);
+* :mod:`repro.telemetry.contprof` — an always-on thread stack sampler
+  aggregating collapsed-stack flame data per serving phase
+  (:class:`ContinuousProfiler`);
 * :mod:`repro.telemetry.quality` — per-sensor data-quality monitoring
   for live feeds: missing-rate EWMA, staleness, feature drift vs the
   training scaler statistics, and a degradation verdict
@@ -32,6 +41,17 @@ from .callbacks import (
     Profiler,
     TraceSpans,
 )
+from .contprof import ContinuousProfiler, merge_collapsed, parse_collapsed
+from .distributed import (
+    TraceCollector,
+    critical_path,
+    extract_trace_context,
+    format_critical_path,
+    format_traceparent,
+    inject_trace_context,
+    merge_trace_payloads,
+    parse_traceparent,
+)
 from .profiler import OpProfiler, OpStats, active_profiler, profile, profile_report
 from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from .prometheus import escape_label_value, label_block, render_prometheus
@@ -50,6 +70,14 @@ from .registry import (
     set_registry,
     span,
     timer,
+)
+from .slo import (
+    DEFAULT_BURN_RULES,
+    BurnRule,
+    Objective,
+    SLOEngine,
+    SLOTracker,
+    default_serving_objectives,
 )
 from .trace import Span, SpanContext, Tracer, format_trace, get_tracer, set_tracer
 
@@ -73,6 +101,23 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "format_trace",
+    "format_traceparent",
+    "parse_traceparent",
+    "inject_trace_context",
+    "extract_trace_context",
+    "merge_trace_payloads",
+    "TraceCollector",
+    "critical_path",
+    "format_critical_path",
+    "Objective",
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "SLOTracker",
+    "SLOEngine",
+    "default_serving_objectives",
+    "ContinuousProfiler",
+    "parse_collapsed",
+    "merge_collapsed",
     "QualityMonitor",
     "QualityReport",
     "QualityThresholds",

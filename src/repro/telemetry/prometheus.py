@@ -142,11 +142,20 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def render_prometheus(registry: MetricRegistry, namespace: str = "repro") -> str:
+def render_prometheus(
+    registry: MetricRegistry, namespace: str = "repro", exemplars: bool = False
+) -> str:
     """Render every metric in ``registry`` as Prometheus text format.
 
     Series sharing a base name (label variants) are grouped under one
     ``# TYPE`` header, as the format requires.
+
+    With ``exemplars=True``, histogram ``_bucket`` lines whose bucket
+    has a pinned trace id gain an OpenMetrics-style exemplar suffix —
+    `` # {trace_id="..."} value`` — so a slow bucket links directly to
+    the merged trace that landed in it. Off by default because strict
+    text-format 0.0.4 parsers may reject the suffix; OpenMetrics-aware
+    scrapers (and humans) read it fine.
     """
     counters: dict[str, list[str]] = {}
     gauges: dict[str, list[str]] = {}
@@ -182,10 +191,19 @@ def render_prometheus(registry: MetricRegistry, namespace: str = "repro") -> str
         base, labels = _metric_name(name, namespace)
         lines = histograms.setdefault(base, [])
         inner = labels[1:-1] if labels else ""
-        for bound, cumulative in metric.cumulative_buckets():
+        for idx, (bound, cumulative) in enumerate(metric.cumulative_buckets()):
             le = f'le="{_format_value(bound)}"'
             label_block = "{" + (inner + "," if inner else "") + le + "}"
-            lines.append(f"{base}_bucket{label_block} {cumulative}")
+            line = f"{base}_bucket{label_block} {cumulative}"
+            if exemplars:
+                pinned = metric.bucket_exemplars[idx]
+                if pinned is not None:
+                    trace_id, value = pinned
+                    line += (
+                        f' # {{trace_id="{escape_label_value(trace_id)}"}}'
+                        f" {_format_value(value)}"
+                    )
+            lines.append(line)
         lines.append(f"{base}_sum{labels} {_format_value(metric.sum if metric.count else 0.0)}")
         lines.append(f"{base}_count{labels} {metric.count}")
 

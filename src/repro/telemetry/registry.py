@@ -160,7 +160,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "sum", "min", "max", "samples", "max_samples",
-                 "buckets", "bucket_counts", "_rng", "_lock")
+                 "buckets", "bucket_counts", "bucket_exemplars", "_rng", "_lock")
 
     def __init__(
         self,
@@ -178,10 +178,21 @@ class Histogram:
         self.buckets = tuple(sorted(float(b) for b in buckets))
         # one count per finite bucket + a final overflow (+Inf) slot
         self.bucket_counts = [0] * (len(self.buckets) + 1)
+        # last (trace_id, value) landing in each bucket, None until one does
+        self.bucket_exemplars: list[tuple[str, float] | None] = [None] * (
+            len(self.buckets) + 1
+        )
         self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` is an optional trace id to pin to the bucket the
+        value lands in (kept last-writer-wins per bucket); the
+        Prometheus renderer can attach it to the matching ``_bucket``
+        line so a slow bucket links straight to a trace.
+        """
         value = float(value)
         with self._lock:
             self.count += 1
@@ -192,10 +203,12 @@ class Histogram:
                 self.max = value
             for idx, bound in enumerate(self.buckets):
                 if value <= bound:
-                    self.bucket_counts[idx] += 1
                     break
             else:
-                self.bucket_counts[-1] += 1
+                idx = len(self.buckets)
+            self.bucket_counts[idx] += 1
+            if exemplar is not None:
+                self.bucket_exemplars[idx] = (exemplar, value)
             if len(self.samples) < self.max_samples:
                 self.samples.append(value)
             else:

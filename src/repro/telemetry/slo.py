@@ -1,0 +1,505 @@
+"""Declarative SLOs with multi-window, multi-burn-rate evaluation.
+
+A forecasting service degrades *gradually* — a drifting sensor or a
+slowly saturating shard eats the error budget long before a hard outage
+trips a breaker. Burn-rate alerting is the standard answer (Google SRE
+workbook): express each objective as a stream of good/bad events,
+measure the **burn rate** — the ratio of the observed bad fraction to
+the budget the target leaves (``1 - target``) — over paired windows,
+and fire only when both a short and a long window agree. The short
+window makes alerts fast; the long window makes them stick only for
+sustained burns; multiple rules (fast 5m/1h at high burn, slow 1h/6h at
+moderate burn) cover both page-now and ticket-later severities.
+
+Everything here reduces to good/bad streams:
+
+* **availability** — a request is good unless it answered 5xx;
+* **latency** — good iff it answered within the objective's threshold
+  (a "p99 < 250ms" SLO is "99% of requests are good" with a 250ms
+  goodness test);
+* **degraded** — good iff the answer did not come from a fallback rung;
+* **quality** — one event per sensor per inspection, bad when the
+  :class:`~repro.telemetry.quality.QualityMonitor` flags the sensor.
+
+The clock is injectable and events carry explicit timestamps, so the
+window math is exactly testable (property tests drive synthetic streams
+across window boundaries). Aggregation is bucketed — O(windows/bucket)
+per evaluation, independent of request rate.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from .registry import MetricRegistry
+
+__all__ = [
+    "Objective",
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "SLOTracker",
+    "SLOEngine",
+    "default_serving_objectives",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective: a target share of good events.
+
+    ``kind`` names the goodness test the caller applies (availability /
+    latency / degraded / quality); the tracker itself only sees the
+    resulting booleans. ``latency_threshold_ms`` documents — and lets
+    :meth:`SLOEngine.record_request` apply — the latency goodness cut.
+    """
+
+    name: str
+    target: float
+    kind: str = "availability"
+    latency_threshold_ms: float | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind not in ("availability", "latency", "degraded", "quality"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.kind == "latency" and self.latency_threshold_ms is None:
+            raise ValueError("latency objectives need latency_threshold_ms")
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One paired-window burn-rate rule.
+
+    Fires when the burn rate over **both** ``short_s`` and ``long_s``
+    windows is at least ``burn_threshold``; clears as soon as either
+    drops below. ``min_events`` holds fire until the long window has
+    seen enough events to mean anything (cold-start guard).
+    """
+
+    name: str
+    short_s: float
+    long_s: float
+    burn_threshold: float
+    min_events: int = 10
+
+    def __post_init__(self):
+        if self.short_s <= 0 or self.long_s <= 0:
+            raise ValueError("window lengths must be positive")
+        if self.short_s >= self.long_s:
+            raise ValueError(
+                f"short window must be shorter than long "
+                f"({self.short_s} >= {self.long_s})"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+        if self.min_events < 1:
+            raise ValueError("min_events must be >= 1")
+
+
+#: The SRE-workbook pairing: page on a fast 5m/1h burn at 14.4x (2% of a
+#: 30-day budget in an hour), ticket on a slow 1h/6h burn at 6x.
+DEFAULT_BURN_RULES = (
+    BurnRule("fast", short_s=300.0, long_s=3600.0, burn_threshold=14.4),
+    BurnRule("slow", short_s=3600.0, long_s=21600.0, burn_threshold=6.0),
+)
+
+
+class SLOTracker:
+    """Good/bad event stream + burn-rate evaluation for one objective.
+
+    Events land in fixed-width time buckets (width derived from the
+    shortest window unless given), bounded to the longest window, so
+    memory and evaluation cost are independent of traffic. ``clock`` is
+    injectable; ``record`` and ``evaluate`` also accept explicit
+    timestamps for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        rules: tuple[BurnRule, ...] = DEFAULT_BURN_RULES,
+        clock: Callable[[], float] = time.monotonic,
+        bucket_s: float | None = None,
+        max_events: int = 256,
+    ):
+        if not rules:
+            raise ValueError("need at least one burn rule")
+        self.objective = objective
+        self.rules = tuple(rules)
+        self._clock = clock
+        shortest = min(rule.short_s for rule in self.rules)
+        self._longest = max(rule.long_s for rule in self.rules)
+        if bucket_s is None:
+            bucket_s = min(60.0, max(0.05, shortest / 30.0))
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+        self.bucket_s = float(bucket_s)
+        # Each bucket: [index, good, bad]; oldest first.
+        self._buckets: deque[list] = deque()
+        self._lock = threading.Lock()
+        self.good_total = 0
+        self.bad_total = 0
+        self.fired_total = 0
+        self.events: deque[dict] = deque(maxlen=max_events)
+        self._active: dict[str, dict] = {}
+        self._counted_fired = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, ok: bool, when: float | None = None, count: int = 1) -> None:
+        if count < 1:
+            return
+        when = self._clock() if when is None else when
+        index = int(when // self.bucket_s)
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == index:
+                bucket = self._buckets[-1]
+            else:
+                bucket = [index, 0, 0]
+                self._buckets.append(bucket)
+            if ok:
+                bucket[1] += count
+                self.good_total += count
+            else:
+                bucket[2] += count
+                self.bad_total += count
+            self._evict(when)
+
+    def _evict(self, now: float) -> None:
+        # Keep one bucket of slack past the longest window so boundary
+        # queries never lose a partially covered bucket.
+        horizon = int((now - self._longest) // self.bucket_s) - 1
+        while self._buckets and self._buckets[0][0] < horizon:
+            self._buckets.popleft()
+
+    # ------------------------------------------------------------------
+    # Window math
+    # ------------------------------------------------------------------
+    def window_counts(self, window_s: float, now: float | None = None) -> tuple[int, int]:
+        """(good, bad) within the trailing ``window_s`` seconds.
+
+        Buckets are included iff their start falls inside the window —
+        a bucket is attributed entirely to its start instant, which
+        keeps boundary behaviour exact and testable.
+        """
+        now = self._clock() if now is None else now
+        first = int((now - window_s) // self.bucket_s) + 1
+        good = bad = 0
+        with self._lock:
+            for index, g, b in self._buckets:
+                if index >= first:
+                    good += g
+                    bad += b
+        return good, bad
+
+    def burn_rate(self, window_s: float, now: float | None = None) -> float:
+        """Bad fraction over the window, normalised by the budget."""
+        good, bad = self.window_counts(window_s, now=now)
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / max(self.objective.budget, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Evaluation + budget accounting
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """Evaluate every rule; fire/clear burn events as states flip."""
+        now = self._clock() if now is None else now
+        states = []
+        for rule in self.rules:
+            short = self.burn_rate(rule.short_s, now=now)
+            long = self.burn_rate(rule.long_s, now=now)
+            good, bad = self.window_counts(rule.long_s, now=now)
+            enough = (good + bad) >= rule.min_events
+            burning = (
+                enough
+                and short >= rule.burn_threshold
+                and long >= rule.burn_threshold
+            )
+            active = self._active.get(rule.name)
+            if burning and active is None:
+                event = {
+                    "slo": self.objective.name,
+                    "rule": rule.name,
+                    "state": "firing",
+                    "started_at": now,
+                    "ended_at": None,
+                    "burn_short": short,
+                    "burn_long": long,
+                    "threshold": rule.burn_threshold,
+                }
+                self._active[rule.name] = event
+                self.events.append(dict(event))
+                self.fired_total += 1
+            elif burning and active is not None:
+                active["burn_short"] = short
+                active["burn_long"] = long
+            elif not burning and active is not None:
+                active["state"] = "resolved"
+                active["ended_at"] = now
+                self.events.append(dict(active))
+                del self._active[rule.name]
+            states.append(
+                {
+                    "rule": rule.name,
+                    "short_s": rule.short_s,
+                    "long_s": rule.long_s,
+                    "threshold": rule.burn_threshold,
+                    "burn_short": short,
+                    "burn_long": long,
+                    "burning": burning,
+                }
+            )
+        return states
+
+    def burning(self, now: float | None = None) -> bool:
+        """True while any rule's burn event is active."""
+        self.evaluate(now=now)
+        return bool(self._active)
+
+    def active_burns(self) -> list[dict]:
+        return [dict(event) for event in self._active.values()]
+
+    def budget_remaining(self) -> float:
+        """Share of the error budget left over the tracker's lifetime.
+
+        1.0 = untouched, 0.0 = exactly spent, negative = overspent.
+        """
+        total = self.good_total + self.bad_total
+        if total == 0:
+            return 1.0
+        consumed = (self.bad_total / total) / max(self.objective.budget, 1e-12)
+        return 1.0 - consumed
+
+    # ------------------------------------------------------------------
+    # Exposure
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float | None = None) -> dict:
+        now = self._clock() if now is None else now
+        return {
+            "objective": {
+                "name": self.objective.name,
+                "kind": self.objective.kind,
+                "target": self.objective.target,
+                "latency_threshold_ms": self.objective.latency_threshold_ms,
+                "description": self.objective.description,
+            },
+            "good_total": self.good_total,
+            "bad_total": self.bad_total,
+            "budget_remaining": self.budget_remaining(),
+            "rules": self.evaluate(now=now),
+            "active_burns": self.active_burns(),
+            "recent_events": [dict(event) for event in self.events],
+            "burn_events_total": self.fired_total,
+        }
+
+    def publish(self, registry: MetricRegistry, labels: str = "") -> None:
+        """Refresh this objective's series in ``registry``.
+
+        ``labels`` is a pre-rendered ``{...}``-style extra label block
+        (the fleet passes tenant labels); the objective name is always
+        stamped as ``slo="..."``.
+        """
+        inner = labels[1:-1] if labels.startswith("{") else labels
+        extra = f",{inner}" if inner else ""
+        name = self.objective.name
+        for rule in self.rules:
+            short = self.burn_rate(rule.short_s)
+            registry.gauge(
+                f'slo/burn_rate{{slo="{name}",window="{rule.name}"{extra}}}'
+            ).set(short)
+        registry.gauge(
+            f'slo/error_budget_remaining{{slo="{name}"{extra}}}'
+        ).set(self.budget_remaining())
+        registry.gauge(f'slo/burning{{slo="{name}"{extra}}}').set(
+            1.0 if self._active else 0.0
+        )
+        counter = registry.counter(f'slo/burn_events{{slo="{name}"{extra}}}')
+        delta = self.fired_total - self._counted_fired
+        if delta > 0:
+            counter.inc(delta)
+            self._counted_fired = self.fired_total
+
+
+_NODE_REASON = re.compile(r"^node (\d+):")
+
+
+class SLOEngine:
+    """A set of trackers wired to the serving request/quality paths."""
+
+    def __init__(
+        self,
+        objectives: tuple[Objective, ...] | None = None,
+        rules: tuple[BurnRule, ...] = DEFAULT_BURN_RULES,
+        clock: Callable[[], float] = time.monotonic,
+        bucket_s: float | None = None,
+    ):
+        if objectives is None:
+            objectives = default_serving_objectives()
+        self.trackers: dict[str, SLOTracker] = {}
+        self._rules = rules
+        self._clock = clock
+        self._bucket_s = bucket_s
+        for objective in objectives:
+            self.add_objective(objective)
+
+    def add_objective(self, objective: Objective) -> SLOTracker:
+        if objective.name in self.trackers:
+            raise ValueError(f"duplicate objective {objective.name!r}")
+        tracker = SLOTracker(
+            objective,
+            rules=self._rules,
+            clock=self._clock,
+            bucket_s=self._bucket_s,
+        )
+        self.trackers[objective.name] = tracker
+        return tracker
+
+    # ------------------------------------------------------------------
+    def record_request(
+        self,
+        status: int,
+        latency_ms: float | None = None,
+        degraded: bool = False,
+        when: float | None = None,
+    ) -> None:
+        """Feed one served request into every applicable objective.
+
+        5xx counts against availability; 4xx is the client's fault and
+        only feeds availability (as good). Latency and degradation are
+        judged on answered (non-5xx, non-4xx) responses only.
+        """
+        answered = status < 400
+        for tracker in self.trackers.values():
+            kind = tracker.objective.kind
+            if kind == "availability":
+                tracker.record(status < 500, when=when)
+            elif kind == "latency" and answered and latency_ms is not None:
+                threshold = tracker.objective.latency_threshold_ms
+                tracker.record(latency_ms <= threshold, when=when)
+            elif kind == "degraded" and answered:
+                tracker.record(not degraded, when=when)
+
+    def record_quality(self, report, when: float | None = None) -> None:
+        """Feed one ``QualityMonitor`` inspection, one event per sensor.
+
+        Degraded sensors are read off the report's ``node N: ...``
+        reasons; sensors without a reason count as good, so the quality
+        objective burns in proportion to how much of the network is
+        sick, not on a single bad sensor.
+        """
+        tracker = next(
+            (
+                t
+                for t in self.trackers.values()
+                if t.objective.kind == "quality"
+            ),
+            None,
+        )
+        if tracker is None:
+            return
+        reasons = getattr(report, "reasons", None)
+        if reasons is None and isinstance(report, dict):
+            reasons = report.get("reasons", [])
+        sensors = getattr(report, "missing_rate_ewma", None)
+        if sensors is None and isinstance(report, dict):
+            sensors = report.get("missing_rate_ewma", [])
+        num_nodes = len(sensors or [])
+        bad_nodes = set()
+        for reason in reasons or []:
+            match = _NODE_REASON.match(str(reason))
+            if match is not None:
+                bad_nodes.add(int(match.group(1)))
+        if num_nodes == 0:
+            degraded = getattr(report, "degraded", None)
+            if degraded is None and isinstance(report, dict):
+                degraded = report.get("degraded", False)
+            tracker.record(not bool(degraded), when=when)
+            return
+        bad = len(bad_nodes)
+        tracker.record(False, when=when, count=bad)
+        tracker.record(True, when=when, count=num_nodes - bad)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> dict:
+        return {
+            name: tracker.evaluate(now=now)
+            for name, tracker in self.trackers.items()
+        }
+
+    def burning(self, now: float | None = None) -> list[str]:
+        """Names of objectives with an active burn event."""
+        return [
+            name
+            for name, tracker in self.trackers.items()
+            if tracker.burning(now=now)
+        ]
+
+    def snapshot(self, now: float | None = None) -> dict:
+        return {
+            "objectives": {
+                name: tracker.snapshot(now=now)
+                for name, tracker in self.trackers.items()
+            },
+            "burning": [
+                name
+                for name, tracker in self.trackers.items()
+                if tracker.active_burns()
+            ],
+        }
+
+    def publish(self, registry: MetricRegistry, labels: str = "") -> None:
+        for tracker in self.trackers.values():
+            tracker.evaluate()
+            tracker.publish(registry, labels=labels)
+
+
+def default_serving_objectives(
+    latency_ms: float = 250.0,
+    availability_target: float = 0.999,
+    latency_target: float = 0.99,
+    degraded_target: float = 0.95,
+    quality_target: float = 0.99,
+) -> tuple[Objective, ...]:
+    """The stock serving SLOs: availability, p-latency, degraded, quality."""
+    return (
+        Objective(
+            "availability",
+            target=availability_target,
+            kind="availability",
+            description="non-5xx share of all requests",
+        ),
+        Objective(
+            "latency_p99",
+            target=latency_target,
+            kind="latency",
+            latency_threshold_ms=latency_ms,
+            description=f"requests answered within {latency_ms:g}ms",
+        ),
+        Objective(
+            "degraded_ratio",
+            target=degraded_target,
+            kind="degraded",
+            description="answers served fresh (no fallback rung)",
+        ),
+        Objective(
+            "sensor_quality",
+            target=quality_target,
+            kind="quality",
+            description="sensors passing the quality monitor per inspection",
+        ),
+    )

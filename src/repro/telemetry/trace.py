@@ -67,7 +67,13 @@ class SpanContext:
 
 @dataclass
 class Span:
-    """One timed operation within a trace."""
+    """One timed operation within a trace.
+
+    ``service`` names the process (or shard) that produced the span —
+    ``None`` for a plain single-process tracer, ``"router"`` / ``"s0"``
+    etc. in the cluster — so spans merged across processes stay
+    attributable to their origin.
+    """
 
     name: str
     context: SpanContext
@@ -77,6 +83,7 @@ class Span:
     attributes: dict = field(default_factory=dict)
     links: list[SpanContext] = field(default_factory=list)
     status: str = "ok"
+    service: str | None = None
 
     @property
     def trace_id(self) -> str:
@@ -110,6 +117,7 @@ class Span:
             "attributes": dict(self.attributes),
             "links": [link.to_json_dict() for link in self.links],
             "status": self.status,
+            "service": self.service,
         }
 
 
@@ -139,6 +147,10 @@ class Tracer:
     seed:
         Seeds both ID generation and the sampling decision, making trace
         output deterministic for a fixed request order.
+    service:
+        Name stamped on every span this tracer creates (``"router"``,
+        ``"s0"``...). Identifies the owning process once spans from
+        several processes are merged into one trace.
     """
 
     def __init__(
@@ -148,6 +160,7 @@ class Tracer:
         export_path: str | None = None,
         clock: Callable[[], float] = time.perf_counter,
         seed: int | None = None,
+        service: str | None = None,
     ):
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
@@ -155,6 +168,7 @@ class Tracer:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.sample_rate = sample_rate
         self.export_path = export_path
+        self.service = service
         self._clock = clock
         self._rng = random.Random(seed)
         self._finished: "deque[Span]" = deque(maxlen=max_spans)
@@ -208,6 +222,7 @@ class Tracer:
             start=self._clock(),
             attributes=dict(attributes or {}),
             links=list(links or []),
+            service=self.service,
         )
 
     def end_span(self, span: Span, status: str | None = None) -> Span:
@@ -332,12 +347,23 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return previous
 
 
-def format_trace(trace: dict) -> str:
+def _span_label(span: dict) -> str:
+    """``name@service`` when the owning process is known, else the name."""
+    service = span.get("service")
+    return f"{span['name']}@{service}" if service else span["name"]
+
+
+def format_trace(trace: dict, critical_path: bool = False) -> str:
     """Pretty-print one :meth:`Tracer.traces` entry as an indented tree.
 
     Orphan spans (parent evicted from the buffer or still open) are
     rendered as extra roots rather than dropped, so a truncated trace
-    still shows everything it has.
+    still shows everything it has. Cross-thread and cross-process links
+    are resolved against the trace itself: a link to a span present in
+    the merge renders as ``name@service`` (the owning process/shard),
+    and only links whose target is missing fall back to the raw span id.
+    With ``critical_path=True`` the latency-attribution summary from
+    :func:`repro.telemetry.distributed.format_critical_path` is appended.
     """
     spans = trace["spans"]
     by_id = {span["span_id"]: span for span in spans}
@@ -348,15 +374,24 @@ def format_trace(trace: dict) -> str:
 
     lines = [f"trace {trace['trace_id']}"]
 
+    def link_label(link: dict) -> str:
+        target = by_id.get(link.get("span_id"))
+        if target is not None:
+            return _span_label(target)
+        return f"{link.get('span_id', '?')}?"
+
     def walk(span: dict, depth: int) -> None:
         indent = "  " * depth
         attrs = " ".join(f"{k}={v}" for k, v in sorted(span["attributes"].items()))
         link_text = ""
         if span["links"]:
-            link_text = f" links={len(span['links'])}"
+            labels = ", ".join(link_label(link) for link in span["links"])
+            link_text = f" links=[{labels}]"
         status = "" if span["status"] == "ok" else f" [{span['status']}]"
+        service = span.get("service")
+        tag = f" [{service}]" if service else ""
         lines.append(
-            f"{indent}{span['name']}  {span['duration_ms']:.3f}ms"
+            f"{indent}{span['name']}{tag}  {span['duration_ms']:.3f}ms"
             f"{status}{' ' + attrs if attrs else ''}{link_text}"
         )
         for child in sorted(children.get(span["span_id"], []), key=lambda s: s["start"]):
@@ -364,4 +399,9 @@ def format_trace(trace: dict) -> str:
 
     for root in sorted(children.get(None, []), key=lambda s: s["start"]):
         walk(root, 1)
+    if critical_path:
+        # Local import: distributed.py imports SpanContext from here.
+        from .distributed import format_critical_path
+
+        lines.append(format_critical_path(trace))
     return "\n".join(lines)

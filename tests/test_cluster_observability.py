@@ -1,0 +1,279 @@
+"""Cluster-wide observability: merged traces, partial scrapes, profiles.
+
+The integration half of the distributed-tracing acceptance criteria,
+run against a :class:`LocalCluster` (real router + shard apps, real
+``traceparent`` headers over the in-process transport):
+
+* one forecast produces ONE merged trace spanning the router and >= 2
+  worker processes, renderable with the owning-process labels;
+* a ``traceparent`` header joins the client's trace; a malformed one
+  roots a fresh trace at both the router and the shard;
+* the merged ``/metrics`` degrades gracefully while a worker restarts —
+  partial exposition plus a ``cluster_shard_scrape_failures_total``
+  bump, never a 500;
+* trace-id exemplars appear on histogram bucket lines only behind the
+  flag;
+* ``/profile`` merges every process's collapsed stacks under its label;
+* the fleet's shadow mirror re-parents its off-thread span into the
+  live request's trace.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.autodiff import dtype_policy
+from repro.serve import EnginePool, ServeConfig, ShadowConfig
+from repro.serve.cluster import ClusterConfig, LocalCluster, make_demo_bundle
+from repro.telemetry import (
+    ContinuousProfiler,
+    MetricRegistry,
+    SpanContext,
+    Tracer,
+    format_trace,
+    format_traceparent,
+    merge_collapsed,
+    parse_collapsed,
+)
+
+NUM_NODES = 32
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    path = tmp_path_factory.mktemp("observability") / "bundle"
+    with dtype_policy("float64"):
+        bundle = make_demo_bundle(str(path), num_nodes=NUM_NODES, seed=0)
+    return bundle
+
+
+def make_cluster(bundle, **serve_overrides):
+    serve = ServeConfig(trace_sample=1.0, **serve_overrides)
+    with dtype_policy("float64"):
+        return LocalCluster(
+            bundle, config=ClusterConfig(num_shards=2, serve=serve)
+        )
+
+
+@pytest.fixture()
+def cluster(bundle):
+    with make_cluster(bundle) as c:
+        yield c
+
+
+def observe_all(cluster, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    for step in range(steps):
+        body = json.dumps({
+            "step": step,
+            "values": rng.normal(60.0, 3.0, size=(NUM_NODES, 1)).tolist(),
+        }).encode()
+        assert cluster.handle("POST", "/observe", body, None).status == 200
+
+
+def warm(cluster):
+    observe_all(cluster, cluster.bundle.input_length)
+
+
+def forecast_trace(cluster):
+    """One warm forecast, then the merged trace that contains it."""
+    warm(cluster)
+    assert cluster.handle("GET", "/forecast?horizon=2", None, None).status == 200
+    response = cluster.handle("GET", "/traces", None, None)
+    assert response.status == 200
+    for trace in response.body["traces"]:
+        names = {span["name"] for span in trace["spans"]}
+        if "cluster" in names and "shard" in names:
+            return trace, response.body
+    raise AssertionError("no merged cluster trace found")
+
+
+class TestMergedTrace:
+    def test_one_trace_spans_router_and_both_workers(self, cluster):
+        trace, body = forecast_trace(cluster)
+        assert body["failed_sources"] == []
+        services = {span.get("service") for span in trace["spans"]}
+        assert "router" in services
+        assert len(services & {"s0", "s1"}) >= 2
+        names = {span["name"] for span in trace["spans"]}
+        assert {"cluster", "shard_call", "shard", "engine.forecast",
+                "model_forward"} <= names
+        assert len({span["trace_id"] for span in trace["spans"]}) == 1
+        # every shard span is stitched under a router shard_call hop
+        by_id = {span["span_id"]: span for span in trace["spans"]}
+        for span in trace["spans"]:
+            if span["name"] == "shard":
+                parent = by_id[span["parent_id"]]
+                assert parent["name"] == "shard_call"
+                assert parent["service"] == "router"
+
+    def test_format_trace_labels_owning_processes(self, cluster):
+        trace, _ = forecast_trace(cluster)
+        text = format_trace(trace, critical_path=True)
+        assert "[router]" in text and ("[s0]" in text or "[s1]" in text)
+        assert "critical path" in text and "dominant phase:" in text
+
+    def test_traceparent_header_joins_the_client_trace(self, cluster):
+        context = SpanContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=True)
+        headers = {"traceparent": format_traceparent(context)}
+        cluster.handle("GET", "/healthz", None, headers)
+        spans = cluster.router.tracer.finished_spans()
+        joined = [s for s in spans if s.trace_id == context.trace_id]
+        assert joined and joined[-1].parent_id == context.span_id
+
+    def test_malformed_traceparent_roots_a_fresh_trace(self, cluster):
+        headers = {"traceparent": "00-zzzz-not-a-context-01"}
+        cluster.handle("GET", "/healthz", None, headers)
+        root = cluster.router.tracer.finished_spans()[-1]
+        assert root.name == "cluster" and root.parent_id is None
+
+    def test_shard_malformed_traceparent_roots_fresh(self, cluster):
+        app = cluster.apps[0]
+        node = int(app.owned[0])
+        body = json.dumps({"step": 0, "node": node, "features": [50.0]}).encode()
+        response = app.handle(
+            "POST", "/observe", body, {"traceparent": "junk"}
+        )
+        assert response.status == 200
+        shard_spans = [
+            s for s in app.tracer.finished_spans() if s.name == "shard"
+        ]
+        assert shard_spans and shard_spans[-1].parent_id is None
+
+    def test_meta_routes_stay_span_free(self, cluster):
+        before = len(cluster.router.tracer.finished_spans())
+        for route in ("/metrics", "/traces", "/slo", "/shards"):
+            cluster.handle("GET", route, None, None)
+        assert len(cluster.router.tracer.finished_spans()) == before
+
+
+class TestPartialScrape:
+    def test_metrics_survive_a_worker_restart(self, cluster):
+        warm(cluster)
+        cluster.kill(0)
+        response = cluster.handle("GET", "/metrics", None, None)
+        assert response.status == 200
+        text = response.body.body
+        # the live shard's series are still there, the dead one's are
+        # counted as failed scrapes — a partial exposition, never a 500
+        assert 'shard="s1"' in text
+        assert ('repro_cluster_shard_scrape_failures_total'
+                '{shard="s0"} 1') in text
+        merged = cluster.handle("GET", "/traces", None, None)
+        assert merged.status == 200
+        assert merged.body["failed_sources"] == ["s0"]
+        cluster.revive(0)
+        recovered = cluster.handle("GET", "/metrics", None, None)
+        assert 'shard="s0"' in recovered.body.body
+
+
+class TestExemplars:
+    def test_flag_pins_trace_ids_to_bucket_lines(self, bundle):
+        with make_cluster(bundle, exemplars=True) as cluster:
+            trace, _ = forecast_trace(cluster)
+            text = cluster.handle("GET", "/metrics", None, None).body.body
+        exemplar_lines = [
+            line for line in text.splitlines() if ' # {trace_id="' in line
+        ]
+        assert exemplar_lines
+        assert all("_bucket{" in line for line in exemplar_lines)
+        assert any(trace["trace_id"] in line for line in exemplar_lines)
+
+    def test_off_by_default(self, cluster):
+        forecast_trace(cluster)
+        text = cluster.handle("GET", "/metrics", None, None).body.body
+        assert ' # {trace_id="' not in text
+
+
+class TestClusterProfile:
+    def test_profile_merges_every_process_under_its_label(self, bundle):
+        with make_cluster(bundle, profile_hz=100.0) as cluster:
+            time.sleep(0.3)
+            response = cluster.handle("GET", "/profile", None, None)
+            assert response.status == 200
+            stacks = parse_collapsed(response.body.body)
+        assert stacks
+        prefixes = {key.split(";", 1)[0] for key in stacks}
+        assert "router" in prefixes
+        assert prefixes & {"s0", "s1"}
+
+    def test_profile_404_when_off(self, cluster):
+        assert cluster.handle("GET", "/profile", None, None).status == 404
+
+
+def _busy_wait(stop):
+    while not stop.is_set():
+        time.sleep(0.005)
+
+
+class TestContinuousProfiler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousProfiler(interval_s=0.0)
+        with pytest.raises(ValueError):
+            ContinuousProfiler(max_depth=0)
+        with pytest.raises(ValueError):
+            ContinuousProfiler(max_stacks=0)
+
+    def test_samples_other_threads_by_frame(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_wait, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = ContinuousProfiler(
+                interval_s=0.01, registry=MetricRegistry()
+            )
+            with profiler:
+                assert profiler.running
+                time.sleep(0.15)
+            assert not profiler.running
+        finally:
+            stop.set()
+            worker.join()
+        snap = profiler.snapshot()
+        assert snap["samples"] > 0
+        collapsed = profiler.collapsed()
+        assert "_busy_wait" in collapsed
+        stacks = parse_collapsed(collapsed)
+        assert stacks and all(count > 0 for count in stacks.values())
+        profiler.clear()
+        assert profiler.collapsed() == ""
+
+    def test_collapsed_round_trip_and_merge(self):
+        merged = merge_collapsed({
+            "router": "a;b 3\nc 1",
+            "s0": "a;b 2",
+        })
+        stacks = parse_collapsed(merged)
+        assert stacks == {"router;a;b": 3, "router;c": 1, "s0;a;b": 2}
+
+
+class TestShadowMirrorSpan:
+    def test_mirror_span_joins_the_live_trace(self, bundle):
+        tracer = Tracer(sample_rate=1.0, service="serve", seed=0)
+        pool = EnginePool(registry=MetricRegistry(), tracer=tracer)
+        pool.add_tenant("alpha", bundle)
+        with dtype_policy("float64"), pool:
+            runtime = pool.runtime("alpha")
+            n, d = runtime.store.num_nodes, runtime.store.num_features
+            rng = np.random.default_rng(0)
+            for step in range(runtime.store.input_length):
+                pool.observe("alpha", step, rng.normal(60.0, 3.0, size=(n, d)))
+            pool.start_shadow(
+                "alpha",
+                ShadowConfig(bundle="same", mirror_fraction=1.0),
+                bundle=bundle,
+            )
+            with tracer.span("http") as root:
+                pool.forecast("alpha")
+            assert pool.drain_shadow()
+        spans = tracer.finished_spans()
+        mirrors = [s for s in spans if s.name == "shadow_mirror"]
+        assert mirrors
+        # re-parented explicitly across the worker thread: same trace,
+        # hung off the live request's root span
+        assert mirrors[0].trace_id == root.trace_id
+        assert mirrors[0].parent_id == root.context.span_id

@@ -1,0 +1,337 @@
+"""Tests for the SLO burn-rate engine.
+
+The window math is the part that has to be exact: buckets are attributed
+entirely to their start instant, a window covers the buckets whose start
+index is ``int((now - window_s) // bucket_s) + 1`` or later, and a rule
+fires only when the short AND long burn rates cross its threshold with
+enough events in the long window. Property tests compare
+``window_counts`` against a brute-force bucket model across arbitrary
+streams and window boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    BurnRule,
+    MetricRegistry,
+    Objective,
+    SLOEngine,
+    SLOTracker,
+    default_serving_objectives,
+    render_prometheus,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_tracker(target=0.99, bucket_s=10.0, **rule_kwargs):
+    defaults = dict(short_s=60.0, long_s=600.0, burn_threshold=2.0, min_events=10)
+    defaults.update(rule_kwargs)
+    clock = FakeClock()
+    tracker = SLOTracker(
+        Objective("avail", target=target),
+        rules=(BurnRule("r", **defaults),),
+        clock=clock,
+        bucket_s=bucket_s,
+    )
+    return tracker, clock
+
+
+class TestValidation:
+    def test_objective_target_bounds(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                Objective("x", target=bad)
+
+    def test_objective_kinds(self):
+        with pytest.raises(ValueError):
+            Objective("x", target=0.99, kind="vibes")
+        with pytest.raises(ValueError):
+            Objective("x", target=0.99, kind="latency")  # no threshold
+
+    def test_burn_rule_windows(self):
+        with pytest.raises(ValueError):
+            BurnRule("r", short_s=600.0, long_s=60.0, burn_threshold=2.0)
+        with pytest.raises(ValueError):
+            BurnRule("r", short_s=60.0, long_s=600.0, burn_threshold=0.0)
+        with pytest.raises(ValueError):
+            BurnRule("r", short_s=60.0, long_s=600.0, burn_threshold=2.0,
+                     min_events=0)
+
+    def test_tracker_needs_rules(self):
+        with pytest.raises(ValueError):
+            SLOTracker(Objective("x", target=0.99), rules=())
+
+    def test_budget_is_one_minus_target(self):
+        assert Objective("x", target=0.999).budget == pytest.approx(0.001)
+
+
+class TestWindowBoundaries:
+    def test_bucket_attributed_to_its_start_instant(self):
+        tracker, _ = make_tracker(bucket_s=10.0)
+        tracker.record(False, when=25.0)  # bucket index 2, starts at t=20
+        # window [40, 100): first included index = int(40 // 10) + 1 = 5
+        assert tracker.window_counts(60.0, now=100.0) == (0, 0)
+        # window [39.9, 99.9): first index = int(39.9 // 10) + 1 = 4 — still out
+        assert tracker.window_counts(60.0, now=99.9) == (0, 0)
+        # window [20, 80): first index = int(20 // 10) + 1 = 3 — bucket 2 out
+        assert tracker.window_counts(60.0, now=80.0) == (0, 0)
+        # window [19.9, 79.9): first index = 2 — bucket 2 in
+        assert tracker.window_counts(60.0, now=79.9) == (0, 1)
+
+    def test_same_bucket_events_aggregate(self):
+        tracker, _ = make_tracker(bucket_s=10.0)
+        tracker.record(True, when=11.0)
+        tracker.record(True, when=19.9)
+        tracker.record(False, when=15.0)
+        assert tracker.window_counts(60.0, now=20.0) == (2, 1)
+
+    def test_count_parameter_batches(self):
+        tracker, _ = make_tracker(bucket_s=10.0)
+        tracker.record(False, when=5.0, count=7)
+        tracker.record(True, when=5.0, count=3)
+        tracker.record(True, when=5.0, count=0)  # ignored
+        assert tracker.window_counts(60.0, now=10.0) == (3, 7)
+        assert tracker.good_total == 3 and tracker.bad_total == 7
+
+    def test_eviction_keeps_boundary_slack(self):
+        tracker, _ = make_tracker(bucket_s=10.0)
+        tracker.record(False, when=0.0)
+        for t in range(100, 800, 10):
+            tracker.record(True, when=float(t))
+        # bucket 0 is far outside the 600s long window → evicted
+        assert tracker._buckets[0][0] > 0
+        # but the most recent long window is still fully covered
+        good, bad = tracker.window_counts(600.0, now=790.0)
+        assert bad == 0 and good > 0
+
+    def test_burn_rate_normalised_by_budget(self):
+        tracker, _ = make_tracker(target=0.99, bucket_s=10.0)
+        tracker.record(False, when=5.0)
+        tracker.record(True, when=5.0, count=9)
+        # 10% bad over a 1% budget → 10x burn
+        assert tracker.burn_rate(60.0, now=10.0) == pytest.approx(10.0)
+        assert tracker.burn_rate(60.0, now=1e6) == 0.0  # empty window
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(st.floats(0.0, 1000.0), st.booleans()),
+            max_size=60,
+        ),
+        window_s=st.floats(1.0, 650.0),
+        now=st.floats(0.0, 1100.0),
+    )
+    def test_window_counts_match_brute_force(self, events, window_s, now):
+        bucket_s = 10.0
+        tracker, _ = make_tracker(bucket_s=bucket_s)
+        for when, ok in sorted(events):
+            tracker.record(ok, when=when)
+        good, bad = tracker.window_counts(window_s, now=now)
+        first = int((now - window_s) // bucket_s) + 1
+        # brute force over the documented rule, restricted to buckets the
+        # tracker can still hold (eviction trims ones older than the
+        # longest window behind the latest recorded event)
+        if events:
+            latest = max(when for when, _ in events)
+            horizon = int((latest - tracker._longest) // bucket_s) - 1
+        else:
+            horizon = -(10**9)
+        expect_good = sum(
+            1 for when, ok in events
+            if ok and int(when // bucket_s) >= max(first, horizon)
+        )
+        expect_bad = sum(
+            1 for when, ok in events
+            if not ok and int(when // bucket_s) >= max(first, horizon)
+        )
+        assert (good, bad) == (expect_good, expect_bad)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bad=st.integers(0, 50),
+        good=st.integers(0, 50),
+        target=st.floats(0.5, 0.999),
+    )
+    def test_burn_rate_is_bad_share_over_budget(self, bad, good, target):
+        tracker, _ = make_tracker(target=target, bucket_s=10.0)
+        tracker.record(False, when=5.0, count=bad)
+        tracker.record(True, when=5.0, count=good)
+        rate = tracker.burn_rate(60.0, now=10.0)
+        total = good + bad
+        if total == 0:
+            assert rate == 0.0
+        else:
+            assert rate == pytest.approx((bad / total) / (1.0 - target))
+
+
+class TestFireAndClear:
+    def test_fires_only_when_both_windows_burn(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=1)
+        # an old burst of bad events: inside the long window, outside short
+        tracker.record(False, when=10.0, count=20)
+        clock.now = 500.0
+        states = tracker.evaluate()
+        assert states[0]["burn_long"] > 2.0
+        assert states[0]["burn_short"] == 0.0
+        assert not states[0]["burning"]
+        # fresh bad events light up the short window too
+        tracker.record(False, when=495.0, count=20)
+        assert tracker.burning()
+        assert tracker.fired_total == 1
+
+    def test_min_events_guards_cold_start(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=10)
+        tracker.record(False, when=5.0, count=9)
+        clock.now = 10.0
+        assert not tracker.burning()  # 9 < min_events despite 100% bad
+        tracker.record(False, when=6.0)
+        assert tracker.burning()
+
+    def test_clears_when_either_window_recovers(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=1)
+        tracker.record(False, when=5.0, count=10)
+        clock.now = 10.0
+        assert tracker.burning()
+        # 100s later the short window is clean; the long one still burns
+        tracker.record(True, when=105.0, count=1)
+        clock.now = 110.0
+        assert not tracker.burning()
+        events = list(tracker.events)
+        assert [e["state"] for e in events] == ["firing", "resolved"]
+        assert events[1]["ended_at"] == pytest.approx(110.0)
+
+    def test_refire_counts_again(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=1)
+        for start in (0.0, 2000.0):
+            tracker.record(False, when=start + 5.0, count=10)
+            clock.now = start + 10.0
+            assert tracker.burning()
+            clock.now = start + 1500.0
+            assert not tracker.burning()
+        assert tracker.fired_total == 2
+
+    def test_budget_remaining_lifetime_accounting(self):
+        tracker, _ = make_tracker(target=0.99, bucket_s=10.0)
+        assert tracker.budget_remaining() == 1.0
+        tracker.record(True, when=1.0, count=99)
+        tracker.record(False, when=1.0)
+        # exactly at budget: 1% bad on a 1% budget
+        assert tracker.budget_remaining() == pytest.approx(0.0)
+
+    def test_snapshot_shape(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=1)
+        tracker.record(False, when=5.0, count=10)
+        clock.now = 10.0
+        snap = tracker.snapshot()
+        assert snap["objective"]["name"] == "avail"
+        assert snap["bad_total"] == 10
+        assert snap["burn_events_total"] == 1
+        assert snap["active_burns"][0]["state"] == "firing"
+        assert snap["rules"][0]["burning"]
+
+
+class TestPublish:
+    def test_series_and_counter_delta(self):
+        tracker, clock = make_tracker(bucket_s=10.0, min_events=1)
+        registry = MetricRegistry()
+        tracker.record(False, when=5.0, count=10)
+        clock.now = 10.0
+        tracker.evaluate()
+        tracker.publish(registry)
+        text = render_prometheus(registry)
+        assert 'repro_slo_burning{slo="avail"} 1' in text
+        assert 'repro_slo_burn_events_total{slo="avail"} 1' in text
+        assert 'repro_slo_burn_rate{slo="avail",window="r"}' in text
+        assert 'repro_slo_error_budget_remaining{slo="avail"}' in text
+        # re-publishing without a new fire must not re-count the event
+        tracker.publish(registry)
+        assert 'repro_slo_burn_events_total{slo="avail"} 1' in render_prometheus(
+            registry
+        )
+
+    def test_extra_label_block_is_merged(self):
+        tracker, _ = make_tracker()
+        registry = MetricRegistry()
+        tracker.publish(registry, labels='{tenant="alpha"}')
+        text = render_prometheus(registry)
+        assert 'repro_slo_burning{slo="avail",tenant="alpha"} 0' in text
+
+
+class TestSLOEngine:
+    def make_engine(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            default_serving_objectives(latency_ms=250.0),
+            rules=(BurnRule("r", short_s=60.0, long_s=600.0,
+                            burn_threshold=2.0, min_events=1),),
+            clock=clock,
+            bucket_s=10.0,
+        )
+        return engine, clock
+
+    def test_duplicate_objective_rejected(self):
+        engine, _ = self.make_engine()
+        with pytest.raises(ValueError):
+            engine.add_objective(Objective("availability", target=0.9))
+
+    def test_5xx_burns_availability_only(self):
+        engine, _ = self.make_engine()
+        engine.record_request(500, latency_ms=10.0, when=5.0)
+        assert engine.trackers["availability"].bad_total == 1
+        # 5xx answers are excluded from the latency/degraded objectives
+        assert engine.trackers["latency_p99"].good_total == 0
+        assert engine.trackers["degraded_ratio"].good_total == 0
+
+    def test_4xx_is_good_availability_and_excluded_elsewhere(self):
+        engine, _ = self.make_engine()
+        engine.record_request(429, latency_ms=1.0, when=5.0)
+        assert engine.trackers["availability"].good_total == 1
+        assert engine.trackers["availability"].bad_total == 0
+        assert engine.trackers["latency_p99"].good_total == 0
+
+    def test_latency_and_degraded_cuts(self):
+        engine, _ = self.make_engine()
+        engine.record_request(200, latency_ms=500.0, degraded=True, when=5.0)
+        engine.record_request(200, latency_ms=5.0, degraded=False, when=5.0)
+        assert engine.trackers["latency_p99"].bad_total == 1
+        assert engine.trackers["latency_p99"].good_total == 1
+        assert engine.trackers["degraded_ratio"].bad_total == 1
+
+    def test_quality_report_counts_per_sensor(self):
+        engine, _ = self.make_engine()
+        report = {
+            "degraded": True,
+            "reasons": ["node 2: missing-rate 0.8", "node 5: stale", "global"],
+            "missing_rate_ewma": [0.0] * 8,
+        }
+        engine.record_quality(report, when=5.0)
+        tracker = engine.trackers["sensor_quality"]
+        assert tracker.bad_total == 2 and tracker.good_total == 6
+
+    def test_quality_report_without_sensors_falls_back_to_verdict(self):
+        engine, _ = self.make_engine()
+        engine.record_quality({"degraded": True, "reasons": [],
+                               "missing_rate_ewma": []}, when=5.0)
+        assert engine.trackers["sensor_quality"].bad_total == 1
+
+    def test_burning_names_objectives(self):
+        engine, clock = self.make_engine()
+        for _ in range(10):
+            engine.record_request(503, when=5.0)
+        clock.now = 10.0
+        assert engine.burning() == ["availability"]
+        snap = engine.snapshot()
+        assert snap["burning"] == ["availability"]
+        assert snap["objectives"]["availability"]["active_burns"]

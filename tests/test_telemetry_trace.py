@@ -227,7 +227,9 @@ class TestFormatTrace:
         # children indent one level deeper than their parents
         assert lines[2].startswith("    engine")
         assert lines[3].startswith("      batch_forward")
-        assert "links=1" in lines[3]
+        # the link's target span is not in this trace, so the label
+        # falls back to the raw span id with a "?" marker
+        assert "links=[o?]" in lines[3]
 
     def test_orphan_spans_render_as_roots(self):
         tracer = Tracer(seed=0)
