@@ -22,7 +22,19 @@ from __future__ import annotations
 import numpy as np
 
 from .dtype import default_dtype
+from .plan import taint
 from .tensor import Tensor, as_tensor, is_grad_enabled
+
+
+def _contiguous(a: np.ndarray) -> np.ndarray:
+    """C-contiguous ``a``, preserving ndarray subclasses.
+
+    ``np.ascontiguousarray`` strips subclasses at the C level, which
+    makes the copy invisible to execution-plan tracing; an explicit
+    ``copy()`` of the non-contiguous view is bitwise-identical and
+    dispatches through the subclass.
+    """
+    return a if a.flags["C_CONTIGUOUS"] else a.copy()
 
 __all__ = ["ChebBasis", "cheb_propagate"]
 
@@ -74,6 +86,9 @@ def _basis_matmul(basis, data: np.ndarray) -> np.ndarray:
     """``basis @ data`` over the node axis (-2), dense or CSR basis."""
     if isinstance(basis, np.ndarray):
         return np.matmul(basis, data)
+    # scipy's product runs outside numpy dispatch: a trace cannot see it,
+    # so fail the plan closed instead of baking stale activations.
+    taint(data, "sparse cheb basis matmul is untraceable")
     if data.ndim == 2:
         return np.asarray(basis @ data)
     # CSR only multiplies 2-D operands: fold leading batch axes into the
@@ -100,7 +115,7 @@ def cheb_propagate(x: Tensor, basis: ChebBasis) -> Tensor:
     c = x.data.shape[-1]
     z = _basis_matmul(basis.forward_basis, x.data)  # (..., K·N, C)
     lead = z.shape[:-2]
-    out = np.ascontiguousarray(
+    out = _contiguous(
         np.moveaxis(z.reshape(lead + (k, n, c)), -3, -2)
     ).reshape(lead + (n, k * c))
     if not is_grad_enabled():

@@ -13,6 +13,7 @@ import numpy as np
 from scipy import sparse as sp
 
 from . import tensor as _tensor_mod
+from .plan import taint
 from .tensor import Tensor
 
 __all__ = ["sparse_matmul"]
@@ -21,6 +22,9 @@ __all__ = ["sparse_matmul"]
 def _apply(matrix: sp.spmatrix, data: np.ndarray) -> np.ndarray:
     """``matrix @ data`` over axis -2 of ``data`` (any leading batch axes)."""
     n = matrix.shape[1]
+    # scipy products bypass numpy dispatch — untraceable for execution
+    # plans, so poison any active trace instead of baking stale values.
+    taint(data, "scipy sparse matmul is untraceable")
     if data.shape[-2] != n:
         raise ValueError(
             f"matrix expects {n} rows on axis -2, got shape {data.shape}"

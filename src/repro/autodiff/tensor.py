@@ -187,7 +187,10 @@ class Tensor:
     __array_priority__ = 1000
 
     def __init__(self, data, requires_grad: bool = False):
-        arr = np.asarray(data)
+        # asanyarray, not asarray: ndarray subclasses must survive the
+        # wrap so execution-plan tracing (repro.autodiff.plan) can follow
+        # values through Tensor ops.
+        arr = np.asanyarray(data)
         if arr.dtype.kind not in "fc":
             arr = arr.astype(default_dtype())
         self.data: np.ndarray = arr
@@ -244,6 +247,25 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(data) -> "Tensor":
+        """Fast constructor for no-grad op results.
+
+        Every no-grad dispatch used to route through ``__init__`` —
+        coercion, dtype-policy check, flag bookkeeping — per op. Callers
+        guarantee ``data`` is the result of a numpy op on policy-typed
+        operands, so all of that is skipped: the hot serving path
+        allocates exactly one Tensor shell per op and nothing else.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asanyarray(data)
+        out.grad = None
+        out.requires_grad = False
+        out._parents = ()
+        out._backward = None
+        out._op = ""
+        return out
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -363,7 +385,7 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
         if not _grad_mode.enabled:
-            return Tensor(self.data + other.data)
+            return Tensor._wrap(self.data + other.data)
         data = self.data + other.data
 
         def backward(g, a=self, b=other):
@@ -376,7 +398,7 @@ class Tensor:
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
         if not _grad_mode.enabled:
-            return Tensor(self.data - other.data)
+            return Tensor._wrap(self.data - other.data)
         data = self.data - other.data
 
         def backward(g, a=self, b=other):
@@ -390,7 +412,7 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
         if not _grad_mode.enabled:
-            return Tensor(self.data * other.data)
+            return Tensor._wrap(self.data * other.data)
         data = self.data * other.data
 
         def backward(g, a=self, b=other):
@@ -406,7 +428,7 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
         if not _grad_mode.enabled:
-            return Tensor(self.data / other.data)
+            return Tensor._wrap(self.data / other.data)
         data = self.data / other.data
 
         def backward(g, a=self, b=other):
@@ -422,7 +444,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(-self.data)
+            return Tensor._wrap(-self.data)
 
         def backward(g):
             return (-g,)
@@ -433,7 +455,7 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         if not _grad_mode.enabled:
-            return Tensor(self.data ** exponent)
+            return Tensor._wrap(self.data ** exponent)
         data = self.data ** exponent
 
         def backward(g, a=self, n=exponent):
@@ -459,7 +481,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.exp(self.data))
+            return Tensor._wrap(np.exp(self.data))
         data = np.exp(self.data)
 
         def backward(g, out=data):
@@ -469,7 +491,7 @@ class Tensor:
 
     def log(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.log(self.data))
+            return Tensor._wrap(np.log(self.data))
 
         def backward(g, a=self):
             return (g / a.data,)
@@ -478,7 +500,7 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.sqrt(self.data))
+            return Tensor._wrap(np.sqrt(self.data))
         data = np.sqrt(self.data)
 
         def backward(g, out=data):
@@ -488,7 +510,7 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.tanh(self.data))
+            return Tensor._wrap(np.tanh(self.data))
         data = np.tanh(self.data)
 
         def backward(g, out=data):
@@ -504,7 +526,7 @@ class Tensor:
         pos = np.divide(1.0, t, out=t)  # 1 / (1 + exp(-|x|)), buffer reused
         data = np.where(self.data >= 0, pos, 1.0 - pos)
         if not _grad_mode.enabled:
-            return Tensor(data)
+            return Tensor._wrap(data)
 
         def backward(g, out=data):
             return (g * out * (1.0 - out),)
@@ -513,7 +535,7 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.where(self.data > 0, self.data, 0.0))
+            return Tensor._wrap(np.where(self.data > 0, self.data, 0.0))
         mask = self.data > 0
         data = np.where(mask, self.data, 0.0)
 
@@ -527,7 +549,7 @@ class Tensor:
 
     def abs(self) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.abs(self.data))
+            return Tensor._wrap(np.abs(self.data))
         sign = np.sign(self.data)
         data = np.abs(self.data)
 
@@ -539,7 +561,7 @@ class Tensor:
     def clip(self, low: float | None, high: float | None) -> "Tensor":
         data = np.clip(self.data, low, high)
         if not _grad_mode.enabled:
-            return Tensor(data)
+            return Tensor._wrap(data)
         mask = np.ones_like(self.data)
         if low is not None:
             mask = mask * (self.data >= low)
@@ -556,7 +578,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(self.data.sum(axis=axis, keepdims=keepdims))
+            return Tensor._wrap(self.data.sum(axis=axis, keepdims=keepdims))
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g, a=self, ax=axis, kd=keepdims):
@@ -569,7 +591,7 @@ class Tensor:
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(self.data.mean(axis=axis, keepdims=keepdims))
+            return Tensor._wrap(self.data.mean(axis=axis, keepdims=keepdims))
         data = self.data.mean(axis=axis, keepdims=keepdims)
         if axis is None:
             count = self.data.size
@@ -587,7 +609,7 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(self.data.max(axis=axis, keepdims=keepdims))
+            return Tensor._wrap(self.data.max(axis=axis, keepdims=keepdims))
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(g, a=self, ax=axis, kd=keepdims, out=data):
@@ -612,7 +634,7 @@ class Tensor:
     def matmul(self, other) -> "Tensor":
         other = as_tensor(other)
         if not _grad_mode.enabled:
-            return Tensor(np.matmul(self.data, other.data))
+            return Tensor._wrap(np.matmul(self.data, other.data))
         data = np.matmul(self.data, other.data)
 
         def backward(g, a=self, b=other):
@@ -655,7 +677,7 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         if not _grad_mode.enabled:
-            return Tensor(self.data.reshape(shape))
+            return Tensor._wrap(self.data.reshape(shape))
         data = self.data.reshape(shape)
 
         def backward(g, orig=self.data.shape):
@@ -669,7 +691,7 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         if not _grad_mode.enabled:
-            return Tensor(self.data.transpose(axes))
+            return Tensor._wrap(self.data.transpose(axes))
         data = self.data.transpose(axes)
         inverse = tuple(np.argsort(axes))
 
@@ -685,7 +707,7 @@ class Tensor:
 
     def squeeze(self, axis: int) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.squeeze(self.data, axis=axis))
+            return Tensor._wrap(np.squeeze(self.data, axis=axis))
         data = np.squeeze(self.data, axis=axis)
 
         def backward(g, ax=axis):
@@ -695,7 +717,7 @@ class Tensor:
 
     def unsqueeze(self, axis: int) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(np.expand_dims(self.data, axis))
+            return Tensor._wrap(np.expand_dims(self.data, axis))
         data = np.expand_dims(self.data, axis)
 
         def backward(g, ax=axis):
@@ -706,7 +728,7 @@ class Tensor:
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
         data = np.broadcast_to(self.data, shape)
         if not _grad_mode.enabled:
-            return Tensor(data.copy())
+            return Tensor._wrap(data.copy())
 
         def backward(g, orig=self.data.shape):
             return (_unbroadcast(g, orig),)
@@ -717,7 +739,7 @@ class Tensor:
         """Zero-pad; ``pad_width`` follows ``numpy.pad`` conventions."""
         data = np.pad(self.data, pad_width)
         if not _grad_mode.enabled:
-            return Tensor(data)
+            return Tensor._wrap(data)
         slices = tuple(
             slice(before, before + dim)
             for (before, _after), dim in zip(pad_width, self.data.shape)
@@ -730,7 +752,7 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         if not _grad_mode.enabled:
-            return Tensor(self.data[index])
+            return Tensor._wrap(self.data[index])
         data = self.data[index]
 
         if _is_basic_index(index):
@@ -758,7 +780,7 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     if not _grad_mode.enabled:
-        return Tensor(np.concatenate([t.data for t in tensors], axis=axis))
+        return Tensor._wrap(np.concatenate([t.data for t in tensors], axis=axis))
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -810,7 +832,7 @@ def split(x: Tensor, sections: int | Sequence[int], axis: int = -1) -> tuple[Ten
         index = head + (slice(offset, offset + size),)
         offset += size
         if not _grad_mode.enabled:
-            outs.append(Tensor(x.data[index]))
+            outs.append(Tensor._wrap(x.data[index]))
             continue
 
         def backward(g, idx=index):
@@ -824,7 +846,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     if not _grad_mode.enabled:
-        return Tensor(np.stack([t.data for t in tensors], axis=axis))
+        return Tensor._wrap(np.stack([t.data for t in tensors], axis=axis))
     data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(g, ax=axis, n=len(tensors)):
@@ -838,12 +860,17 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
 def where(condition, a, b) -> Tensor:
     """Differentiable elementwise select; ``condition`` is a constant mask."""
-    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
-    cond = cond.astype(bool)
+    cond = condition.data if isinstance(condition, Tensor) else np.asanyarray(condition)
+    if cond.dtype != np.bool_:
+        # Skip the cast when the caller already passes a boolean mask
+        # (the common ``m > 0`` case): ``astype`` always copies, and the
+        # copy would both cost an allocation per call on the serving hot
+        # path and strip tracing provenance from the mask.
+        cond = cond.astype(bool)
     a = as_tensor(a)
     b = as_tensor(b)
     if not _grad_mode.enabled:
-        return Tensor(np.where(cond, a.data, b.data))
+        return Tensor._wrap(np.where(cond, a.data, b.data))
     data = np.where(cond, a.data, b.data)
 
     def backward(g, c=cond, ta=a, tb=b):
@@ -860,7 +887,7 @@ def maximum(a, b) -> Tensor:
     a = as_tensor(a)
     b = as_tensor(b)
     if not _grad_mode.enabled:
-        return Tensor(np.where(a.data >= b.data, a.data, b.data))
+        return Tensor._wrap(np.where(a.data >= b.data, a.data, b.data))
     take_a = a.data >= b.data
     data = np.where(take_a, a.data, b.data)
 
@@ -878,7 +905,7 @@ def minimum(a, b) -> Tensor:
     a = as_tensor(a)
     b = as_tensor(b)
     if not _grad_mode.enabled:
-        return Tensor(np.where(a.data <= b.data, a.data, b.data))
+        return Tensor._wrap(np.where(a.data <= b.data, a.data, b.data))
     take_a = a.data <= b.data
     data = np.where(take_a, a.data, b.data)
 

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli fig5 --lambdas 0.001 1 20
     python -m repro.cli --scale full table1-missing   # paper-closer scale
     python -m repro.cli export --model RIHGCN --output artifacts/rihgcn
+    python -m repro.cli plan --bundle artifacts/rihgcn --verify
+    python -m repro.cli quantize --bundle artifacts/rihgcn --mode int8 --gate 1
     python -m repro.cli serve --bundle artifacts/rihgcn --port 8787 --trace-sample 0.1
     python -m repro.cli chaos --bundle artifacts/rihgcn --error-rate 0.05
     python -m repro.cli traces http://127.0.0.1:8787 --limit 5 --critical-path
@@ -114,6 +116,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-training", action="store_true",
                    help="export with freshly initialised weights (smoke tests)")
 
+    p = sub.add_parser(
+        "plan",
+        help="trace a bundle's forward into an execution plan; print "
+             "compile stats (see docs/PERFORMANCE.md)",
+    )
+    p.add_argument("--bundle", required=True, help="bundle base path from 'export'")
+    p.add_argument("--batch", type=int, default=1,
+                   help="batch rows to trace the plan for")
+    p.add_argument("--verify", action="store_true",
+                   help="replay the plan on fresh inputs and require bitwise "
+                        "equality with the eager forward (exit 1 on mismatch)")
+
+    p = sub.add_parser(
+        "quantize",
+        help="re-write a bundle with int8/float16 weights "
+             "(see docs/PERFORMANCE.md)",
+    )
+    p.add_argument("--bundle", required=True,
+                   help="float bundle base path from 'export'")
+    p.add_argument("--output", type=str, default=None,
+                   help="quantized bundle base path (default: <bundle>-<mode>)")
+    p.add_argument("--mode", choices=["int8", "float16"], default="int8")
+    p.add_argument("--gate", type=float, default=1.0,
+                   help="max relative MAE drift vs the float bundle, in "
+                        "percent (negative disables the gate)")
+
     def add_resilience_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--deadline-s", type=float, default=None,
                        help="per-request time budget in seconds")
@@ -152,6 +180,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="request-trace sampling rate in [0, 1] (0 = off)")
     p.add_argument("--trace-export", type=str, default=None,
                    help="append finished spans to this JSONL file")
+    p.add_argument("--no-plan", action="store_true",
+                   help="disable traced execution plans (eager forwards only)")
     add_resilience_flags(p)
     add_observability_flags(p)
 
@@ -511,6 +541,88 @@ def main(argv: list[str] | None = None) -> int:
         header_path = export_bundle(model, args.model, ctx, output)
         print(f"bundle written to {header_path} "
               f"(+ {os.path.basename(output)}.npz)")
+    elif args.command == "plan":
+        import numpy as np
+
+        from .autodiff import PlanUnsupported, default_dtype, inference_mode, trace
+        from .serve import load_bundle
+
+        bundle = load_bundle(args.bundle)
+        model = bundle.model
+        rng = np.random.default_rng(args.seed)
+        dtype = default_dtype()
+        shape = (args.batch, bundle.input_length, bundle.num_nodes,
+                 bundle.num_features)
+        steps_per_day = bundle.data_config.steps_per_day
+        day_steps = (int(rng.integers(0, steps_per_day))
+                     + np.arange(bundle.input_length)) % steps_per_day
+        steps = np.broadcast_to(
+            day_steps, (args.batch, bundle.input_length)
+        ).copy()
+
+        def draw():
+            m = (rng.random(shape) >= 0.2).astype(dtype)
+            x = rng.standard_normal(shape).astype(dtype) * m
+            return x, m
+
+        x, m = draw()
+        split = model.plan_inputs(x, m, steps)
+        if split is None:
+            print(f"{bundle.model_name} does not implement traced plans; "
+                  "serving stays on the eager path")
+            return 2
+        inputs, signature = split
+        try:
+            plan, _ = trace(model.plan_forward, inputs)
+        except PlanUnsupported as error:
+            print(f"plan unsupported, serving falls back to eager: {error}")
+            return 2
+        print(f"{bundle.model_name}: plan compiled for batch {args.batch}"
+              + (f", signature {signature}" if signature else ""))
+        for key, value in plan.stats.as_dict().items():
+            print(f"  {key:<20} {value}")
+        if args.verify:
+            x2, m2 = draw()
+            inputs2, signature2 = model.plan_inputs(x2, m2, steps)
+            if signature2 != signature:
+                print("verify: fresh draw changed the plan signature; "
+                      "a server would retrace instead of replaying")
+                return 1
+            replayed = plan.replay(inputs2)
+            with inference_mode():
+                eager = np.asarray(model.plan_forward(**inputs2))
+            if replayed.dtype == eager.dtype and np.array_equal(
+                replayed, eager, equal_nan=True
+            ):
+                print("verify: PASS (replay bitwise-equal to the eager forward)")
+            else:
+                diff = np.max(np.abs(
+                    replayed.astype(np.float64) - eager.astype(np.float64)
+                ))
+                print(f"verify: FAIL (max |diff| {diff:.3e})")
+                return 1
+    elif args.command == "quantize":
+        from .errors import QuantizationError
+        from .serve import quantization_mae_drift, quantize_bundle
+
+        output = args.output or f"{args.bundle}-{args.mode}"
+        gate = None if args.gate < 0 else args.gate / 100.0
+        try:
+            header_path = quantize_bundle(
+                args.bundle, output, mode=args.mode, gate=gate, seed=args.seed
+            )
+        except QuantizationError as error:
+            print(f"quantization failed: {error}", file=sys.stderr)
+            return 1
+        src_npz = args.bundle if args.bundle.endswith(".npz") else args.bundle + ".npz"
+        out_npz = output if output.endswith(".npz") else output + ".npz"
+        shrink = os.path.getsize(src_npz) / max(os.path.getsize(out_npz), 1)
+        print(f"quantized bundle written to {header_path} "
+              f"({args.mode}, {shrink:.2f}x smaller arrays)")
+        if gate is not None:
+            drift = quantization_mae_drift(args.bundle, output, seed=args.seed)
+            print(f"relative MAE drift vs float32: {drift:.4%} "
+                  f"(gate {gate:.2%})")
     elif args.command == "serve":
         from .serve import ServeApp, ServeConfig, load_bundle, run_server
         from .telemetry import Tracer, set_tracer

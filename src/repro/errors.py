@@ -36,6 +36,7 @@ __all__ = [
     "BundleError",
     "BundleFormatError",
     "BundleModelError",
+    "QuantizationError",
     "ConfigError",
     "ServeError",
     "StateError",
@@ -77,6 +78,10 @@ class BundleFormatError(BundleError):
 
 class BundleModelError(BundleError):
     """The bundle names a model outside the neural registry."""
+
+
+class QuantizationError(BundleError):
+    """Weight quantization failed or broke the accuracy gate."""
 
 
 class ConfigError(ReproError):

@@ -98,7 +98,7 @@ class _Branch(Module):
     def forward(self, x: np.ndarray) -> Tensor:
         """``x``: ``(B, T_seg, N, C)`` -> ``(B, N, output_size)``."""
         batch, steps, nodes, _features = x.shape
-        h = Tensor(np.asarray(x, dtype=default_dtype())).swapaxes(1, 2)  # (B, N, T, C)
+        h = Tensor(np.asanyarray(x, dtype=default_dtype())).swapaxes(1, 2)  # (B, N, T, C)
         for block in self.blocks:
             h = block(h)
         return self.head(h.reshape(batch, nodes, steps * h.shape[-1]))
@@ -161,7 +161,7 @@ class ASTGCN(NeuralForecaster):
         x_daily: np.ndarray | None = None,
         m_daily: np.ndarray | None = None,
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
+        x = np.asanyarray(x, dtype=default_dtype())
         batch = x.shape[0]
         nodes = x.shape[2]
         out = self.recent(x)  # (B, N, T_out * D_out)

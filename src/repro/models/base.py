@@ -88,6 +88,39 @@ class NeuralForecaster(Module):
         """
         return self(batch.x, batch.m, batch.steps_of_day)
 
+    # ------------------------------------------------------------------
+    # Traced execution plans (repro.autodiff.plan)
+    # ------------------------------------------------------------------
+    def plan_inputs(
+        self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], tuple] | None:
+        """Split a request into a traceable core input set and a guard.
+
+        Returns ``(inputs, signature)`` or ``None`` when the model does
+        not support traced execution (the default — serving then stays
+        on the eager path).
+
+        ``inputs`` maps :meth:`plan_forward` keyword names to
+        policy-dtype arrays; anything data-dependent that the tracer
+        cannot follow (step-of-day lookups, graph-interval weights) must
+        be computed *here*, eagerly, and passed in as a plan input.
+        ``signature`` is a hashable fingerprint of every value that
+        steers control flow inside :meth:`plan_forward` (e.g. which
+        temporal graphs are active): plans are cached per
+        ``(shape, signature)`` so a branch taken differently forces a
+        fresh trace instead of replaying a stale one.
+        """
+        return None
+
+    def plan_forward(self, **inputs) -> np.ndarray:
+        """The traceable forward core over :meth:`plan_inputs` arrays.
+
+        Must be pure array math of its inputs (given a fixed signature)
+        and return the scaled prediction as an ndarray. Only models that
+        override :meth:`plan_inputs` need to implement this.
+        """
+        raise NotImplementedError
+
 
 class StatisticalForecaster:
     """Base class for closed-form baselines (HA, VAR).

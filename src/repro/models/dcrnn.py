@@ -150,7 +150,7 @@ class DCRNN(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
+        x = np.asanyarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(f"expected {self.input_length} steps, got {steps}")

@@ -67,7 +67,7 @@ class GraphWaveNet(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
+        x = np.asanyarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         h = self.input_proj(Tensor(x)).swapaxes(1, 2)  # (B, N, T, C)
         skip = None

@@ -114,7 +114,10 @@ class HGCNBlock(SpatialEncoder):
         """``x``: ``(B, N, D)``; ``weights``: ``(B, M)`` interval weights."""
         if weights is None:
             raise ValueError("HGCNBlock requires per-sample interval weights")
-        weights = np.asarray(weights, dtype=default_dtype())
+        # asanyarray: tracing subclasses must survive; the per-graph
+        # ``w.any()`` skip below is data-dependent control flow, guarded
+        # upstream by the model's plan signature (activity bitmask).
+        weights = np.asanyarray(weights, dtype=default_dtype())
         if weights.ndim != 2 or weights.shape[1] != self.num_temporal:
             raise ValueError(
                 f"weights must be (B, {self.num_temporal}), got {weights.shape}"

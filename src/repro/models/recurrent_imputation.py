@@ -247,14 +247,27 @@ class RecurrentImputationForecaster(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
-        m = np.asarray(m, dtype=default_dtype())
+        # asanyarray: keep tracing subclasses alive through the cast.
+        x = np.asanyarray(x, dtype=default_dtype())
+        m = np.asanyarray(m, dtype=default_dtype())
+        weights = self._interval_weights(np.asarray(steps_of_day))
+        return self._forward_core(x, m, weights)
+
+    def _forward_core(
+        self, x: np.ndarray, m: np.ndarray, weights: np.ndarray | None
+    ) -> ForecastOutput:
+        """Forward pass over precomputed interval weights.
+
+        Shared by :meth:`forward` (which derives ``weights`` from
+        ``steps_of_day``) and :meth:`plan_forward` (which receives them
+        as an explicit plan input so the tracer never sees the
+        data-dependent interval lookup).
+        """
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(
                 f"expected {self.input_length} input steps, got {steps}"
             )
-        weights = self._interval_weights(np.asarray(steps_of_day))
 
         z_fwd, est_fwd = self.forward_pass(
             x, m, weights, reverse=False, detach_imputation=self.detach_imputation
@@ -295,6 +308,40 @@ class RecurrentImputationForecaster(NeuralForecaster):
             estimates_bwd=est_bwd_t,
             estimate_validity=validity,
         )
+
+    # ------------------------------------------------------------------
+    # Traced execution plans
+    # ------------------------------------------------------------------
+    def plan_inputs(
+        self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], tuple]:
+        """Eager prologue for tracing: cast, and resolve interval weights.
+
+        The interval-weight lookup is data-dependent (it indexes the
+        timeline partition by step-of-day), so it runs eagerly here and
+        the resulting ``(B, T, M)`` weights become a plan *input*. The
+        signature is the per-graph activity bitmask — ``HGCNBlock``
+        skips temporal graphs whose weights are all zero, so a plan is
+        only valid for requests activating the same graph subset.
+        """
+        x = np.asarray(x, dtype=default_dtype())
+        m = np.asarray(m, dtype=default_dtype())
+        weights = self._interval_weights(np.asarray(steps_of_day))
+        inputs = {"x": x, "m": m}
+        if weights is None:
+            return inputs, ()
+        weights = np.asarray(weights, dtype=default_dtype())
+        inputs["weights"] = weights
+        signature = tuple(bool(b) for b in (weights != 0).any(axis=(0, 1)))
+        return inputs, signature
+
+    def plan_forward(
+        self,
+        x: np.ndarray,
+        m: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return self._forward_core(x, m, weights).prediction.data
 
     def _assemble_estimates(
         self,
@@ -339,5 +386,5 @@ class RecurrentImputationForecaster(NeuralForecaster):
             estimate = (fwd * weight_f + bwd * weight_b) / denom
         else:
             estimate = fwd
-        m = np.asarray(m, dtype=default_dtype())
-        return m * np.asarray(x) + (1.0 - m) * estimate
+        m = np.asanyarray(m, dtype=default_dtype())
+        return m * np.asanyarray(x) + (1.0 - m) * estimate

@@ -70,7 +70,7 @@ class SpatioTemporalForecaster(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
+        x = np.asanyarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         state = None
         z_steps: list[Tensor] = []
@@ -93,6 +93,20 @@ class SpatioTemporalForecaster(NeuralForecaster):
             batch, nodes, self.output_length, self.output_features
         ).transpose(0, 2, 1, 3)
         return ForecastOutput(prediction=prediction)
+
+    # ------------------------------------------------------------------
+    # Traced execution plans
+    # ------------------------------------------------------------------
+    def plan_inputs(
+        self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], tuple] | None:
+        """The forward is pure in ``x`` — mask and clock are ignored —
+        so the plan input set is just the window and the signature is
+        empty (no data-dependent control flow to guard)."""
+        return {"x": np.asarray(x, dtype=default_dtype())}, ()
+
+    def plan_forward(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, None, None).prediction.data
 
 
 def fc_lstm(**kwargs) -> SpatioTemporalForecaster:

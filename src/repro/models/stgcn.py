@@ -89,7 +89,7 @@ class STGCN(NeuralForecaster):
     def forward(
         self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
     ) -> ForecastOutput:
-        x = np.asarray(x, dtype=default_dtype())
+        x = np.asanyarray(x, dtype=default_dtype())
         batch, steps, nodes, _features = x.shape
         if steps != self.input_length:
             raise ValueError(f"expected {self.input_length} steps, got {steps}")

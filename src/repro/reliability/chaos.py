@@ -166,6 +166,13 @@ class ChaosModel:
         self._model.train(mode)
         return self
 
+    def plan_inputs(self, x, m, steps_of_day):
+        # A compiled plan would replay the bare forward and route around
+        # the ``__call__`` injection seam below, so chaos-wrapped models
+        # never plan: the engine stays on the eager path where faults
+        # actually fire.
+        return None
+
     def __call__(self, *args, **kwargs):
         latency, error, corrupt = self._injector.forward_decision()
         if latency:

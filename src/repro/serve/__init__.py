@@ -17,10 +17,13 @@ See ``docs/SERVING.md`` for the full walk-through and
 from .artifact import (
     FLEET_FORMAT_VERSION,
     FORMAT_VERSION,
+    QUANT_MODES,
     ModelBundle,
     export_bundle,
     load_bundle,
     load_fleet_manifest,
+    quantization_mae_drift,
+    quantize_bundle,
     save_fleet_manifest,
 )
 from .cache import LRUCache
@@ -48,6 +51,7 @@ from .config import (
 from .engine import Forecast, ForecastEngine
 from .fleet import EnginePool, TenantQuota, build_pool
 from .http import PlainText, Response, ServeApp, bind_http, make_server, run_server
+from .planner import PlanRuntime
 from .loadgen import (
     ClusterLoadReport,
     LoadReport,
@@ -71,8 +75,12 @@ __all__ = [
     "export_bundle",
     "load_bundle",
     "load_fleet_manifest",
+    "quantization_mae_drift",
+    "quantize_bundle",
+    "QUANT_MODES",
     "save_fleet_manifest",
     "LRUCache",
+    "PlanRuntime",
     "DEFAULT_TENANT",
     "CanaryConfig",
     "FleetConfig",

@@ -14,6 +14,7 @@ context, so training data is *not* needed at serving time.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, fields
@@ -26,6 +27,7 @@ from ..errors import (
     BundleFormatError,
     BundleModelError,
     MissingParameterError,
+    QuantizationError,
     ShapeMismatchError,
 )
 from ..experiments.config import DataConfig, ModelConfig
@@ -38,10 +40,13 @@ from .state import StateStore
 __all__ = [
     "FLEET_FORMAT_VERSION",
     "FORMAT_VERSION",
+    "QUANT_MODES",
     "ModelBundle",
     "export_bundle",
     "load_bundle",
     "load_fleet_manifest",
+    "quantization_mae_drift",
+    "quantize_bundle",
     "save_fleet_manifest",
 ]
 
@@ -52,6 +57,13 @@ FORMAT_VERSION = 1
 FLEET_FORMAT_VERSION = 1
 
 _PARAM_PREFIX = "param/"
+# Per-channel quantization scales ride next to their parameter. The
+# prefix shares no namespace with _PARAM_PREFIX ("param_" != "param/"),
+# so un-quantized loaders would simply ignore the extra arrays.
+_SCALE_PREFIX = "param_scale/"
+
+#: supported weight quantization modes for :func:`quantize_bundle`
+QUANT_MODES = ("int8", "float16")
 
 
 def _bundle_paths(path: str | os.PathLike) -> tuple[str, str]:
@@ -116,6 +128,25 @@ class ModelBundle:
     def output_length(self) -> int:
         return self.model.output_length
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this bundle's exported contents.
+
+        The sha256 of the canonical header JSON — model name, configs,
+        shapes, dtype, quantization — which changes whenever a re-export
+        could change the numbers a server hands out. Engines mix it into
+        their forecast cache keys so forecasts can never be served
+        across bundle versions.
+        """
+        canonical = json.dumps(self.header, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def quantization(self) -> str | None:
+        """Weight quantization mode this bundle was stored with, if any."""
+        entry = self.header.get("quantization")
+        return entry["mode"] if entry else None
+
     def make_store(self, start_step: int = 0, registry=None) -> StateStore:
         """A state store dimensioned for this bundle's model."""
         return StateStore(
@@ -129,6 +160,7 @@ class ModelBundle:
 
     def make_engine(self, store: StateStore | None = None, **engine_kwargs) -> ForecastEngine:
         """A forecast engine over ``store`` (a fresh one by default)."""
+        engine_kwargs.setdefault("cache_token", self.fingerprint)
         return ForecastEngine(
             model=self.model,
             scaler=self.scaler,
@@ -221,6 +253,199 @@ def _config_from_dict(cls, payload: dict):
     return cls(**{k: v for k, v in payload.items() if k in known})
 
 
+# ----------------------------------------------------------------------
+# Weight quantization
+# ----------------------------------------------------------------------
+
+def _dequantize_arrays(
+    arrays: dict[str, np.ndarray], quant: dict, npz_path: str
+) -> dict[str, np.ndarray]:
+    """Restore quantized parameters to the active policy dtype.
+
+    int8 parameters multiply back through their per-channel scales
+    (stored under ``param_scale/``); float16 parameters upcast. Scale
+    arrays are consumed here and dropped from the result.
+    """
+    mode = quant.get("mode")
+    if mode not in QUANT_MODES:
+        raise BundleFormatError(
+            f"bundle {npz_path!r} uses unknown quantization mode {mode!r}; "
+            f"this build reads {QUANT_MODES}"
+        )
+    target = default_dtype()
+    quantized = set(quant.get("params", ()))
+    out: dict[str, np.ndarray] = {}
+    for name, value in arrays.items():
+        if name.startswith(_SCALE_PREFIX):
+            continue
+        if name.startswith(_PARAM_PREFIX):
+            pname = name[len(_PARAM_PREFIX):]
+            if pname in quantized:
+                if mode == "int8":
+                    scale = arrays.get(_SCALE_PREFIX + pname)
+                    if scale is None:
+                        raise BundleFormatError(
+                            f"bundle {npz_path!r} is quantized but missing "
+                            f"scales for parameter {pname!r}"
+                        )
+                    # Scales are per-channel along the last axis, so a
+                    # plain broadcast multiply restores the weights.
+                    value = value.astype(target) * scale.astype(target)
+                else:  # float16
+                    value = value.astype(target)
+        out[name] = value
+    return out
+
+
+def quantize_bundle(
+    path: str | os.PathLike,
+    out_path: str | os.PathLike,
+    mode: str = "int8",
+    gate: float | None = None,
+    gate_windows: int = 4,
+    seed: int = 0,
+) -> str:
+    """Re-write a float bundle with quantized weights; returns the header path.
+
+    ``int8`` stores every floating parameter of rank >= 2 as symmetric
+    per-channel int8 along its last axis, with float32 scales riding
+    next to it under ``param_scale/``; rank-1 parameters (biases, gains)
+    are tiny and precision-critical, so they stay float. ``float16``
+    simply halves every floating parameter. The header records the mode
+    and the quantized parameter names — the format version does not
+    change, and :func:`load_bundle` dequantizes transparently.
+
+    ``gate`` (e.g. ``0.01``) enforces the accuracy contract: after
+    writing, the quantized bundle's forecasts on ``gate_windows``
+    synthetic windows must stay within that relative MAE drift of the
+    source bundle's, or the output files are removed and
+    :class:`~repro.errors.QuantizationError` raises.
+    """
+    if mode not in QUANT_MODES:
+        raise QuantizationError(
+            f"unknown quantization mode {mode!r}; choose from {QUANT_MODES}"
+        )
+    npz_path, json_path = _bundle_paths(path)
+    with open(json_path, encoding="utf-8") as handle:
+        header = json.load(handle)
+    if header.get("format_version") != FORMAT_VERSION:
+        raise BundleFormatError(
+            f"bundle {json_path!r} has format version "
+            f"{header.get('format_version')!r}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    if header.get("quantization"):
+        raise QuantizationError(
+            f"bundle {json_path!r} is already quantized "
+            f"({header['quantization']['mode']}); quantize the float original"
+        )
+    with np.load(npz_path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+
+    out_arrays: dict[str, np.ndarray] = {}
+    quantized: list[str] = []
+    for name, value in arrays.items():
+        if not (
+            name.startswith(_PARAM_PREFIX)
+            and np.issubdtype(value.dtype, np.floating)
+        ):
+            out_arrays[name] = value
+            continue
+        pname = name[len(_PARAM_PREFIX):]
+        if mode == "float16":
+            out_arrays[name] = value.astype(np.float16)
+            quantized.append(pname)
+        elif value.ndim >= 2:
+            # Symmetric per-channel int8: one scale per slice of the
+            # last axis, sized so the channel's absmax maps to 127.
+            absmax = np.max(np.abs(value), axis=tuple(range(value.ndim - 1)))
+            scale = np.where(absmax > 0, absmax / 127.0, 1.0).astype(np.float32)
+            out_arrays[name] = np.clip(
+                np.rint(value / scale), -127, 127
+            ).astype(np.int8)
+            out_arrays[_SCALE_PREFIX + pname] = scale
+            quantized.append(pname)
+        else:
+            out_arrays[name] = value
+
+    out_npz, out_json = _bundle_paths(out_path)
+    if os.path.abspath(out_npz) == os.path.abspath(npz_path):
+        raise QuantizationError(
+            "quantize_bundle must not overwrite its float source; "
+            "pick a different output path"
+        )
+    parent = os.path.dirname(out_npz)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    header = dict(header)
+    header["quantization"] = {"mode": mode, "params": sorted(quantized)}
+    header["arrays_file"] = os.path.basename(out_npz)
+    np.savez(out_npz, **out_arrays)
+    with open(out_json, "w", encoding="utf-8") as handle:
+        json.dump(header, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if gate is not None:
+        drift = quantization_mae_drift(
+            path, out_path, num_windows=gate_windows, seed=seed
+        )
+        if drift > gate:
+            os.remove(out_npz)
+            os.remove(out_json)
+            raise QuantizationError(
+                f"{mode} quantization drifts {drift:.3%} relative MAE from "
+                f"the float32 bundle, above the {gate:.3%} gate"
+            )
+    return out_json
+
+
+def quantization_mae_drift(
+    reference: str | os.PathLike | ModelBundle,
+    quantized: str | os.PathLike | ModelBundle,
+    num_windows: int = 4,
+    missing_rate: float = 0.2,
+    seed: int = 0,
+) -> float:
+    """Relative MAE between two bundles' forecasts on synthetic windows.
+
+    Draws ``num_windows`` windows in the training distribution (unit
+    normals pushed through the reference scaler), knocks out a
+    ``missing_rate`` share of observations, and returns
+    ``mean|pred_q - pred_ref| / mean|pred_ref|`` in original units —
+    the quantity the <=1% quantization accuracy gate is defined over.
+    """
+    ref = reference if isinstance(reference, ModelBundle) else load_bundle(reference)
+    quant = quantized if isinstance(quantized, ModelBundle) else load_bundle(quantized)
+    rng = np.random.default_rng(seed)
+    dtype = default_dtype()
+    shape = (num_windows, ref.input_length, ref.num_nodes, ref.num_features)
+    raw = ref.scaler.inverse_transform(
+        rng.standard_normal(shape).astype(dtype)
+    )
+    m = (rng.random(shape) >= missing_rate).astype(dtype)
+    x = np.where(m > 0, raw, 0.0).astype(dtype)
+    steps_per_day = ref.data_config.steps_per_day
+    offsets = rng.integers(0, steps_per_day, size=num_windows)
+    steps = (
+        offsets[:, None] + np.arange(ref.input_length)[None, :]
+    ) % steps_per_day
+
+    from ..autodiff import inference_mode  # local: avoid import cycle noise
+
+    def predict(bundle: ModelBundle) -> np.ndarray:
+        x_scaled = bundle.scaler.transform(x, m)
+        with inference_mode():
+            out = bundle.model(x_scaled, m, steps)
+        return bundle.scaler.inverse_transform(out.prediction.data)
+
+    pred_ref = predict(ref)
+    pred_quant = predict(quant)
+    denom = float(np.mean(np.abs(pred_ref)))
+    if denom == 0.0:
+        return float(np.mean(np.abs(pred_quant - pred_ref)))
+    return float(np.mean(np.abs(pred_quant - pred_ref)) / denom)
+
+
 def load_bundle(path: str | os.PathLike) -> ModelBundle:
     """Load a bundle written by :func:`export_bundle`.
 
@@ -245,6 +470,10 @@ def load_bundle(path: str | os.PathLike) -> ModelBundle:
 
     with np.load(npz_path) as archive:
         arrays = {name: archive[name] for name in archive.files}
+
+    quant = header.get("quantization")
+    if quant is not None:
+        arrays = _dequantize_arrays(arrays, quant, npz_path)
 
     data_config = _config_from_dict(DataConfig, header["data_config"])
     model_config = _config_from_dict(ModelConfig, header["model_config"])

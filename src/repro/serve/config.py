@@ -75,6 +75,7 @@ class ServeConfig:
     max_batch_size: int = 8
     max_wait_s: float = 0.002
     cache_size: int = 256
+    plan_enabled: bool = True  # traced execution plans on the forward path
     trace_sample: float = 0.0
     trace_export: str | None = None
     slo_enabled: bool = True
@@ -127,8 +128,8 @@ class ServeConfig:
         """Defaults overridden by ``REPRO_SERVE_*`` environment variables.
 
         Recognised keys (suffix after the prefix): ``HOST``, ``PORT``,
-        ``MAX_BATCH_SIZE``, ``MAX_WAIT_MS``, ``CACHE_SIZE``,
-        ``TRACE_SAMPLE``, ``TRACE_EXPORT``, ``SLO`` (bool),
+        ``MAX_BATCH_SIZE``, ``MAX_WAIT_MS``, ``CACHE_SIZE``, ``PLAN``
+        (bool), ``TRACE_SAMPLE``, ``TRACE_EXPORT``, ``SLO`` (bool),
         ``SLO_LATENCY_MS``, ``PROFILE_HZ``, ``EXEMPLARS`` (bool),
         ``DEADLINE_S``, ``RETRY_ATTEMPTS``, ``BREAKER`` (bool),
         ``BREAKER_OPEN_S``, ``FALLBACK`` (bool), ``MAX_QUEUE_DEPTH``.
@@ -167,6 +168,7 @@ class ServeConfig:
             )
             / 1e3,
             cache_size=_env_value(env, prefix + "CACHE_SIZE", int, base.cache_size),
+            plan_enabled=_env_value(env, prefix + "PLAN", bool, base.plan_enabled),
             trace_sample=_env_value(
                 env, prefix + "TRACE_SAMPLE", float, base.trace_sample
             ),
@@ -211,6 +213,7 @@ class ServeConfig:
             max_batch_size=int(pick("max_batch_size", base.max_batch_size)),
             max_wait_s=float(pick("max_wait_ms", base.max_wait_s * 1e3)) / 1e3,
             cache_size=int(pick("cache_size", base.cache_size)),
+            plan_enabled=not getattr(args, "no_plan", False),
             trace_sample=float(pick("trace_sample", base.trace_sample)),
             trace_export=getattr(args, "trace_export", None),
             slo_enabled=not getattr(args, "no_slo", False),

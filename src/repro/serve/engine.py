@@ -47,13 +47,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..autodiff import inference_mode
+from ..autodiff import default_dtype, inference_mode
 from ..datasets import ZScoreScaler
 from ..errors import CircuitOpen, DeadlineExceeded, Overloaded, ServeError
 from ..models.base import NeuralForecaster
 from ..reliability import Deadline, Fallback, ResiliencePolicy, window_mean_forecast
 from ..telemetry import MetricRegistry, Tracer, get_registry, get_tracer, label_block
 from .cache import LRUCache
+from .planner import PlanRuntime
 from .state import StateStore, StateWindow
 
 __all__ = ["Forecast", "ForecastEngine"]
@@ -130,6 +131,18 @@ class ForecastEngine:
     name:
         Identity for the engine's circuit breaker (gauge label and
         snapshot ``name`` field); the pool derives one per tenant.
+    plan:
+        Enable traced execution plans (:mod:`repro.autodiff.plan`) on
+        the forward path. Models that do not implement
+        ``plan_inputs``, and any request shape the tracer cannot
+        faithfully compile, fall back to the eager forward
+        transparently — ``plan=False`` only exists to force the eager
+        baseline (benchmarks, debugging).
+    cache_token:
+        Opaque identity of the served weights (the bundle fingerprint).
+        Mixed into every LRU cache key so two engines serving different
+        bundle versions — or one engine across a hot-swap — can never
+        alias each other's cached forecasts.
     """
 
     def __init__(
@@ -145,6 +158,8 @@ class ForecastEngine:
         policy: ResiliencePolicy | None = None,
         labels: dict[str, str] | None = None,
         name: str = "model",
+        plan: bool = True,
+        cache_token: str | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -164,6 +179,14 @@ class ForecastEngine:
         self.policy = policy if policy is not None else ResiliencePolicy()
         self.labels = dict(labels) if labels else {}
         self.name = name
+        self.cache_token = cache_token
+        self.planner = (
+            PlanRuntime(
+                self.model, self.registry, self.tracer, labels=self.labels
+            )
+            if plan
+            else None
+        )
         self.breaker = self.policy.make_breaker(name, registry=self.registry)
         self.retry = self.policy.make_retry()
         # queue.Queue(maxsize=0) is unbounded, matching max_queue_depth=0.
@@ -256,6 +279,7 @@ class ForecastEngine:
             "shed_total": count("serve/shed"),
             "deadline_expired_total": count("serve/deadline_expired"),
             "unavailable_total": count("serve/unavailable"),
+            "plan": self.planner.snapshot() if self.planner is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -421,10 +445,20 @@ class ForecastEngine:
             (time.perf_counter() - start) * 1e3, exemplar=exemplar
         )
 
+    def _cache_key(self, version: int, horizon: int) -> tuple:
+        """LRU key for one forecast.
+
+        Besides ``(version, horizon)`` the key pins the served weights
+        (``cache_token``) and the active dtype policy: a hot-swapped
+        bundle or a policy flip must miss, never serve the other
+        configuration's numbers.
+        """
+        return (self.cache_token, str(np.dtype(default_dtype())), version, horizon)
+
     def _cache_lookup(self, version: int, horizon: int) -> Forecast | None:
         if self.cache is None:
             return None
-        hit = self.cache.get((version, horizon))
+        hit = self.cache.get(self._cache_key(version, horizon))
         if hit is None:
             return None
         return Forecast(
@@ -541,7 +575,8 @@ class ForecastEngine:
                 )
                 if self.cache is not None:
                     self.cache.put(
-                        (request.window.version, request.horizon), forecast
+                        self._cache_key(request.window.version, request.horizon),
+                        forecast,
                     )
                 results.append(forecast)
         return results
@@ -592,7 +627,20 @@ class ForecastEngine:
         with self.tracer.span(
             "model_forward",
             attributes={"rows": len(windows), "model": type(self.model).__name__},
-        ):
-            with self._forward_lock, inference_mode():
-                out = self.model(x_scaled, m, steps)
-        return self.scaler.inverse_transform(out.prediction.data)
+        ) as span:
+            with self._forward_lock:
+                scaled = None
+                if self.planner is not None:
+                    # Plan replay hands back an arena alias (copy=False);
+                    # inverse_transform consumes it into a fresh array
+                    # before the lock — and thus the next replay — can
+                    # clobber it.
+                    scaled = self.planner.predict(x_scaled, m, steps)
+                if scaled is None:
+                    span.set_attribute("exec_mode", "eager")
+                    with inference_mode():
+                        scaled = self.model(x_scaled, m, steps).prediction.data
+                else:
+                    span.set_attribute("exec_mode", "planned")
+                result = self.scaler.inverse_transform(scaled)
+        return result

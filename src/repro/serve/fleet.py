@@ -342,6 +342,8 @@ class EnginePool:
                 policy=config.resilience,
                 labels=labels,
                 name=engine_name,
+                plan=config.plan_enabled,
+                cache_token=bundle.fingerprint,
             )
         if monitor is None:
             monitor = QualityMonitor(
@@ -889,6 +891,8 @@ class EnginePool:
             policy=runtime.config.resilience,
             labels=labels,
             name=f"{role}:{runtime.name}",
+            plan=runtime.config.plan_enabled,
+            cache_token=bundle.fingerprint,
         )
         monitor = None
         if with_monitor:

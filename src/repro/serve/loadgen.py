@@ -159,12 +159,15 @@ def compare_batched_sequential(
     max_batch_size: int = 8,
     max_wait_s: float = 0.005,
     seed: int = 0,
+    plan: bool = True,
 ) -> dict:
     """The headline serving benchmark: micro-batched vs sequential.
 
     Both runs use identical fresh stores and workloads; the sequential
     baseline is the same engine restricted to ``max_batch_size=1`` (one
-    forward per request, same threading and cache). Returns a dict of two
+    forward per request, same threading and cache). ``plan=False`` pins
+    both engines to the eager forward, isolating the micro-batching
+    effect from traced-plan acceleration. Returns a dict of two
     :class:`LoadReport` payloads plus the throughput ratio.
     """
     reports = {}
@@ -179,6 +182,7 @@ def compare_batched_sequential(
             max_batch_size=batch_size,
             max_wait_s=wait,
             registry=MetricRegistry(),  # isolate counters per run
+            plan=plan,
         )
         with engine:
             reports[mode] = run_load(

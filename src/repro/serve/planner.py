@@ -1,0 +1,204 @@
+"""Traced-plan runtime for the forecast engine's hot path.
+
+:class:`PlanRuntime` sits between :class:`~repro.serve.engine.
+ForecastEngine` and :mod:`repro.autodiff.plan`. For every distinct
+``(input shapes, dtypes, signature)`` the model's forward can take, it
+walks one key through three states:
+
+1. **compile** — the first request traces ``model.plan_forward`` and
+   compiles an :class:`~repro.autodiff.ExecutionPlan`. The traced run
+   computes on the base arrays, so its output *is* the answer: compiling
+   costs one ordinary forward plus lowering.
+2. **validate** — the second request runs both the replay and the eager
+   forward and requires bitwise equality. A mismatch (data-dependent
+   control flow the signature failed to capture) permanently demotes the
+   key to eager.
+3. **ready** — every later request replays the plan: zero Tensor
+   allocation, zero graph construction.
+
+Anything that goes wrong — the model does not implement planning,
+tracing raises :class:`~repro.autodiff.PlanUnsupported`, validation
+fails — parks that key on the eager path forever and bumps
+``serve/plan_fallbacks``; serving never degrades, it only stops
+accelerating.
+
+Metrics (labelled like every other serve series): counters
+``serve/plan_cache_hits`` / ``serve/plan_cache_misses`` /
+``serve/plan_fallbacks``, histogram ``serve/plan_compile_seconds`` and
+the per-mode forward counter ``serve/engine_exec_mode`` with a ``mode``
+label. Compilation runs inside a ``plan.compile`` span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..autodiff import PlanUnsupported, inference_mode, trace
+from ..models.base import NeuralForecaster
+from ..telemetry import MetricRegistry, Tracer, label_block
+
+__all__ = ["PlanRuntime"]
+
+#: plans cached per engine; keys beyond this evict the oldest entry
+_MAX_PLANS = 8
+
+
+class _Entry:
+    """State machine for one plan key."""
+
+    __slots__ = ("state", "plan")
+
+    def __init__(self):
+        self.state = "compile"  # "compile" | "validate" | "ready" | "eager"
+        self.plan = None
+
+
+class PlanRuntime:
+    """Per-engine cache of compiled execution plans.
+
+    Not thread-safe on its own: the engine calls :meth:`predict` under
+    its forward lock, which also keeps the zero-copy replay output alive
+    until it is consumed.
+    """
+
+    def __init__(
+        self,
+        model: NeuralForecaster,
+        registry: MetricRegistry,
+        tracer: Tracer,
+        labels: dict[str, str] | None = None,
+        max_plans: int = _MAX_PLANS,
+    ):
+        self.model = model
+        self.registry = registry
+        self.tracer = tracer
+        self.labels = dict(labels) if labels else {}
+        self.max_plans = max_plans
+        self._entries: dict[tuple, _Entry] = {}
+        self._lock = threading.Lock()
+        # Set permanently once plan_inputs returns None: the model does
+        # not support planning, so skip the prologue on every request.
+        # Plan support must be declared on the model's *class*: wrapper
+        # models (chaos injectors, canary fault shims) intercept
+        # ``__call__`` but delegate attribute access to the wrapped
+        # model, and planning through the delegated ``plan_forward``
+        # would silently route around the wrapper.
+        self._unsupported = (
+            getattr(type(model), "plan_inputs", None) is None
+            or getattr(type(model), "plan_forward", None) is None
+        )
+
+    def _m(self, base: str, **extra: str) -> str:
+        if not self.labels and not extra:
+            return base
+        return base + label_block({**self.labels, **extra})
+
+    def _count(self, base: str, **extra: str) -> None:
+        self.registry.counter(self._m(base, **extra)).inc()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready plan-cache state for operators."""
+        with self._lock:
+            states = [entry.state for entry in self._entries.values()]
+        return {
+            "supported": not self._unsupported,
+            "plans": len(states),
+            "ready": states.count("ready"),
+            "eager_keys": states.count("eager"),
+        }
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, x: np.ndarray, m: np.ndarray, steps_of_day: np.ndarray
+    ) -> np.ndarray | None:
+        """The scaled prediction via the plan path, or ``None`` for eager.
+
+        Must be called under the engine's forward lock: with a ready
+        plan the returned array aliases the arena (``copy=False``) and
+        is only valid until the next replay.
+        """
+        if self._unsupported:
+            self._count("serve/engine_exec_mode", mode="eager")
+            return None
+        split = self.model.plan_inputs(x, m, steps_of_day)
+        if split is None:
+            self._unsupported = True
+            self._count("serve/engine_exec_mode", mode="eager")
+            return None
+        inputs, signature = split
+        key = (
+            tuple(
+                (name, value.shape, str(value.dtype))
+                for name, value in sorted(inputs.items())
+            ),
+            signature,
+        )
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry()
+                if len(self._entries) >= self.max_plans:
+                    evicted = next(iter(self._entries))
+                    del self._entries[evicted]
+                self._entries[key] = entry
+
+        if entry.state == "eager":
+            self._count("serve/engine_exec_mode", mode="eager")
+            return None
+        if entry.state == "compile":
+            self._count("serve/plan_cache_misses")
+            return self._compile(entry, inputs)
+        self._count("serve/plan_cache_hits")
+        if entry.state == "validate":
+            return self._validate(entry, inputs)
+        self._count("serve/engine_exec_mode", mode="planned")
+        return entry.plan.replay(inputs, copy=False)
+
+    # ------------------------------------------------------------------
+    def _compile(self, entry: _Entry, inputs: dict[str, np.ndarray]):
+        """Trace + compile; the traced run's output is this answer."""
+        with self.tracer.span(
+            "plan.compile", attributes={"model": type(self.model).__name__}
+        ) as span:
+            try:
+                plan, output = trace(self.model.plan_forward, inputs)
+            except PlanUnsupported as error:
+                span.set_attribute("unsupported", str(error))
+                entry.state = "eager"
+                self._count("serve/plan_fallbacks")
+                self._count("serve/engine_exec_mode", mode="eager")
+                return None
+            span.set_attribute("steps", plan.stats.steps)
+            span.set_attribute("arena_bytes", plan.stats.arena_bytes)
+        self.registry.histogram(self._m("serve/plan_compile_seconds")).observe(
+            plan.stats.compile_seconds
+        )
+        entry.plan = plan
+        entry.state = "validate"
+        self._count("serve/engine_exec_mode", mode="traced")
+        return output
+
+    def _validate(self, entry: _Entry, inputs: dict[str, np.ndarray]):
+        """Warm check: one replay must match the eager forward bitwise.
+
+        This is the guard against data-dependent control flow the
+        model's plan signature failed to capture — the one hazard no
+        tracer can see.
+        """
+        replayed = entry.plan.replay(inputs, copy=True)
+        with inference_mode():
+            eager = np.asarray(self.model.plan_forward(**inputs))
+        if replayed.dtype == eager.dtype and np.array_equal(
+            replayed, eager, equal_nan=True
+        ):
+            entry.state = "ready"
+            self._count("serve/engine_exec_mode", mode="planned")
+            return replayed
+        entry.plan = None
+        entry.state = "eager"
+        self._count("serve/plan_fallbacks")
+        self._count("serve/engine_exec_mode", mode="eager")
+        return eager

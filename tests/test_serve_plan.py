@@ -1,0 +1,275 @@
+"""Engine integration of traced execution plans (repro.serve.planner).
+
+Covers the plan-cache state machine (compile -> validate -> ready),
+transparent eager fallback, the exec-mode/plan metrics, the zero
+allocation guarantees of the planned hot path, and the forecast LRU
+cache key regression: keys must pin the bundle identity and the dtype
+policy, not just ``(version, horizon)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, dtype_policy, inference_mode
+from repro.experiments import build_model
+from repro.serve import ServeConfig, export_bundle, load_bundle
+from repro.serve.fleet import EnginePool
+from repro.serve.planner import PlanRuntime
+from repro.telemetry import MetricRegistry, Tracer
+
+
+@pytest.fixture()
+def served(tiny_ctx, tmp_path):
+    model = build_model("GCN-LSTM-I", tiny_ctx)
+    base = str(tmp_path / "bundle")
+    export_bundle(model, "GCN-LSTM-I", tiny_ctx, base)
+    bundle = load_bundle(base)
+    _train_u, _val_u, test_u = tiny_ctx.corrupted.chronological_split()
+    first_step = int(test_u.steps_of_day[0])
+    store = bundle.make_store(start_step=first_step)
+    for offset in range(bundle.input_length):
+        store.observe(first_step + offset, test_u.data[offset], test_u.mask[offset])
+    return bundle, store, test_u
+
+
+def _drive(engine, store, test_u, rounds, start_offset=0):
+    """Advance the store one step per round, forecasting each time."""
+    first = int(test_u.steps_of_day[0])
+    length = engine.model.input_length
+    results = []
+    for i in range(rounds):
+        row = (length + start_offset + i) % test_u.data.shape[0]
+        store.observe(
+            first + length + start_offset + i, test_u.data[row], test_u.mask[row]
+        )
+        results.append(engine.forecast())
+    return results
+
+
+class TestPlannedServing:
+    def test_planned_matches_eager_bitwise(self, served):
+        """Compile, validate and replay answers all equal the eager path."""
+        bundle, store, test_u = served
+        planned = bundle.make_engine(
+            store=store, registry=MetricRegistry(), cache_size=0
+        )
+        eager = bundle.make_engine(
+            store=store, registry=MetricRegistry(), cache_size=0, plan=False
+        )
+        assert planned.planner is not None
+        assert eager.planner is None
+        for i in range(4):
+            first = int(test_u.steps_of_day[0])
+            row = (bundle.input_length + i) % test_u.data.shape[0]
+            store.observe(
+                first + bundle.input_length + i, test_u.data[row], test_u.mask[row]
+            )
+            a = planned.forecast().prediction
+            b = eager.forecast().prediction
+            np.testing.assert_array_equal(a, b)
+        snapshot = planned.planner.snapshot()
+        assert snapshot["supported"] and snapshot["ready"] == 1
+
+    def test_exec_mode_metrics(self, served):
+        bundle, store, test_u = served
+        registry = MetricRegistry()
+        engine = bundle.make_engine(store=store, registry=registry, cache_size=0)
+        _drive(engine, store, test_u, rounds=4)
+        counters = registry.snapshot()["counters"]
+        assert counters['serve/engine_exec_mode{mode="traced"}'] == 1
+        assert counters['serve/engine_exec_mode{mode="planned"}'] == 3
+        assert counters["serve/plan_cache_misses"] == 1
+        assert counters["serve/plan_cache_hits"] == 3
+        assert registry.snapshot()["histograms"]["serve/plan_compile_seconds"][
+            "count"
+        ] == 1
+
+    def test_unsupported_model_stays_eager(self, served, monkeypatch):
+        bundle, store, test_u = served
+        monkeypatch.setattr(
+            bundle.model, "plan_inputs", lambda *a, **k: None, raising=False
+        )
+        registry = MetricRegistry()
+        engine = bundle.make_engine(store=store, registry=registry, cache_size=0)
+        results = _drive(engine, store, test_u, rounds=2)
+        assert all(np.all(np.isfinite(r.prediction)) for r in results)
+        assert engine.planner.snapshot() == {
+            "supported": False, "plans": 0, "ready": 0, "eager_keys": 0,
+        }
+        counters = registry.snapshot()["counters"]
+        assert counters['serve/engine_exec_mode{mode="eager"}'] == 2
+
+    def test_plan_compile_span_emitted(self, served):
+        bundle, store, test_u = served
+        tracer = Tracer(sample_rate=1.0)
+        engine = bundle.make_engine(
+            store=store, registry=MetricRegistry(), tracer=tracer, cache_size=0
+        )
+        _drive(engine, store, test_u, rounds=1)
+        names = {span.name for span in tracer.finished_spans()}
+        assert "plan.compile" in names
+
+    def test_reliability_snapshot_reports_plan_state(self, served):
+        bundle, store, test_u = served
+        engine = bundle.make_engine(store=store, registry=MetricRegistry())
+        _drive(engine, store, test_u, rounds=1)
+        snapshot = engine.reliability_snapshot()
+        assert snapshot["plan"]["supported"] is True
+        eager = bundle.make_engine(
+            store=store, registry=MetricRegistry(), plan=False
+        )
+        assert eager.reliability_snapshot()["plan"] is None
+
+
+class TestValidationFallback:
+    def test_signature_miss_forces_fresh_compile(self):
+        """A hidden data-dependent branch is caught by warm validation."""
+
+        class Sneaky:
+            def plan_inputs(self, x, m, steps_of_day):
+                return {"x": np.asarray(x, dtype=np.float64)}, ()
+
+            def plan_forward(self, x):
+                # The (1, 1) comparison escapes via __bool__, so the
+                # tracer bakes whichever branch the first request took.
+                if np.sum(x, keepdims=True) > 0:  # invisible to the signature
+                    return x * 2.0
+                return x * -3.0
+
+        registry = MetricRegistry()
+        runtime = PlanRuntime(Sneaky(), registry, Tracer())
+        ones = np.ones((2, 2))
+        first = runtime.predict(ones, None, None)  # compiles, branch baked
+        np.testing.assert_array_equal(first, ones * 2.0)
+        # Validation replays against the eager forward on the *other*
+        # branch and must detect the divergence, not serve 2x.
+        second = runtime.predict(-ones, None, None)
+        np.testing.assert_array_equal(second, ones * 3.0)
+        assert runtime.snapshot()["eager_keys"] == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["serve/plan_fallbacks"] == 1
+        # The key is parked on eager permanently.
+        assert runtime.predict(-ones, None, None) is None
+
+    def test_honest_model_promotes_to_ready(self):
+        class Honest:
+            def plan_inputs(self, x, m, steps_of_day):
+                return {"x": np.asarray(x, dtype=np.float64)}, ()
+
+            def plan_forward(self, x):
+                return np.tanh(x) + 1.0
+
+        runtime = PlanRuntime(Honest(), MetricRegistry(), Tracer())
+        rng = np.random.default_rng(0)
+        for state in ("validate", "ready", "ready"):
+            value = rng.standard_normal((3, 3))
+            out = runtime.predict(value, None, None)
+            np.testing.assert_array_equal(out, np.tanh(value) + 1.0)
+            entry = next(iter(runtime._entries.values()))
+            assert entry.state == state
+
+
+class TestCacheKeyRegression:
+    """Satellite: forecast LRU keys pin bundle identity and dtype policy."""
+
+    def test_make_engine_seeds_cache_token_from_fingerprint(self, served):
+        bundle, store, _ = served
+        engine = bundle.make_engine(store=store, registry=MetricRegistry())
+        assert engine.cache_token == bundle.fingerprint
+
+    def test_cache_token_change_misses(self, served):
+        bundle, store, test_u = served
+        engine = bundle.make_engine(store=store, registry=MetricRegistry())
+        _drive(engine, store, test_u, rounds=1)
+        assert engine.forecast().cached
+        # Simulate a hot-swap to different weights: same state version,
+        # different bundle identity, must not serve the old numbers.
+        engine.cache_token = "deadbeef"
+        assert not engine.forecast().cached
+
+    def test_dtype_policy_in_cache_key(self, served):
+        bundle, store, _ = served
+        engine = bundle.make_engine(store=store, registry=MetricRegistry())
+        key32 = engine._cache_key(7, 3)
+        with dtype_policy(np.float64):
+            key64 = engine._cache_key(7, 3)
+        assert key32 != key64
+        assert key32 == engine._cache_key(7, 3)
+
+    def test_distinct_bundles_never_alias(self, served, tiny_ctx, tmp_path):
+        """Same store version, two bundle versions -> two cache entries."""
+        bundle, store, test_u = served
+        other_model = build_model("GCN-LSTM-I", tiny_ctx)
+        base = str(tmp_path / "bundle-v2")
+        export_bundle(other_model, "GCN-LSTM-I", tiny_ctx, base)
+        other = load_bundle(base)
+        assert other.fingerprint != bundle.fingerprint
+        engine_a = bundle.make_engine(store=store, registry=MetricRegistry())
+        engine_b = other.make_engine(store=store, registry=MetricRegistry())
+        assert engine_a._cache_key(1, 3) != engine_b._cache_key(1, 3)
+
+
+class TestZeroAllocation:
+    """Satellite: no gradient closures under no_grad, no Tensors in replay."""
+
+    def test_no_grad_forward_allocates_no_closures(self, served, monkeypatch):
+        bundle, store, _ = served
+        window = store.window()
+        x = bundle.scaler.transform(window.x[None], window.m[None])
+        calls = []
+        original = Tensor._make
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(Tensor, "_make", staticmethod(counting))
+        with inference_mode():
+            bundle.model(x, window.m[None], window.steps_of_day[None])
+        assert calls == []
+
+    def test_planned_forward_allocates_no_tensors(self, served, monkeypatch):
+        bundle, store, test_u = served
+        engine = bundle.make_engine(
+            store=store, registry=MetricRegistry(), cache_size=0
+        )
+        _drive(engine, store, test_u, rounds=2)  # reach "ready"
+
+        def boom(*args, **kwargs):
+            raise AssertionError("Tensor allocated during plan replay")
+
+        monkeypatch.setattr(Tensor, "__init__", boom)
+        monkeypatch.setattr(Tensor, "_wrap", staticmethod(boom))
+        monkeypatch.setattr(Tensor, "_make", staticmethod(boom))
+        result = _drive(engine, store, test_u, rounds=1, start_offset=2)[0]
+        assert np.all(np.isfinite(result.prediction))
+
+
+class TestConfigPlumbing:
+    def test_serve_config_round_trip(self):
+        config = ServeConfig(plan_enabled=False)
+        payload = config.to_json_dict()
+        assert payload["plan_enabled"] is False
+        assert ServeConfig.from_dict(payload) == config
+
+    def test_from_env(self):
+        config = ServeConfig.from_env(env={"REPRO_SERVE_PLAN": "0"})
+        assert config.plan_enabled is False
+        assert ServeConfig.from_env(env={}).plan_enabled is True
+
+    def test_from_args_no_plan(self):
+        class Namespace:
+            no_plan = True
+
+        assert ServeConfig.from_args(Namespace()).plan_enabled is False
+
+    def test_pool_wires_plan_and_fingerprint(self, served):
+        bundle, _store, _ = served
+        pool = EnginePool(registry=MetricRegistry())
+        runtime = pool.add_tenant("alpha", bundle)
+        assert runtime.engine.planner is not None
+        assert runtime.engine.cache_token == bundle.fingerprint
+        runtime_off = pool.add_tenant(
+            "beta", bundle, config=ServeConfig(plan_enabled=False)
+        )
+        assert runtime_off.engine.planner is None

@@ -1,0 +1,201 @@
+"""Quantized bundle export/load (repro.serve.artifact quantization).
+
+The accuracy contract is the load-bearing part: an int8 (or float16)
+bundle must forecast within 1% relative MAE of its float32 source, and
+that must hold across missingness regimes — point-random gaps, burst
+outages and whole-sensor dropouts — because the serving engine sees all
+three. Format round-trip, the gate's file hygiene and the error paths
+are pinned by unit tests.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import default_dtype, inference_mode
+from repro.errors import QuantizationError
+from repro.experiments import build_model
+from repro.serve import (
+    QUANT_MODES,
+    export_bundle,
+    load_bundle,
+    quantization_mae_drift,
+    quantize_bundle,
+)
+
+MAE_GATE = 0.01  # the <=1% accuracy contract from the bundle docs
+
+
+@pytest.fixture(scope="module")
+def bundles(tiny_ctx, tmp_path_factory):
+    """A float32 bundle plus its int8 and float16 quantizations."""
+    root = tmp_path_factory.mktemp("quant")
+    model = build_model("GCN-LSTM-I", tiny_ctx)
+    base = str(root / "float32")
+    export_bundle(model, "GCN-LSTM-I", tiny_ctx, base)
+    paths = {"float32": base}
+    for mode in QUANT_MODES:
+        out = str(root / mode)
+        quantize_bundle(base, out, mode=mode, gate=MAE_GATE)
+        paths[mode] = out
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Missing-pattern injectors: (rng, shape) -> mask in {0, 1}
+# ----------------------------------------------------------------------
+
+def _point_random(rng, shape):
+    return (rng.random(shape) >= 0.3).astype(default_dtype())
+
+
+def _burst_outage(rng, shape):
+    """Every sensor drops for one contiguous block of timestamps."""
+    mask = np.ones(shape, dtype=default_dtype())
+    length = shape[1]
+    start = int(rng.integers(0, length))
+    span = int(rng.integers(1, max(2, length // 2)))
+    mask[:, start : start + span] = 0.0
+    return mask
+
+
+def _sensor_dropout(rng, shape):
+    """A random half of the sensors report nothing at all."""
+    mask = np.ones(shape, dtype=default_dtype())
+    nodes = shape[2]
+    dead = rng.choice(nodes, size=max(1, nodes // 2), replace=False)
+    mask[:, :, dead] = 0.0
+    return mask
+
+
+_INJECTORS = {
+    "point": _point_random,
+    "burst": _burst_outage,
+    "sensor": _sensor_dropout,
+}
+
+
+def _forecast(bundle, x, m, steps):
+    scaled = bundle.scaler.transform(x, m)
+    with inference_mode():
+        pred = bundle.model(scaled, m, steps).prediction.data
+    return bundle.scaler.inverse_transform(pred)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.sampled_from(sorted(_INJECTORS)),
+    st.sampled_from(QUANT_MODES),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_quantized_within_gate_across_missing_patterns(
+    bundles, pattern, mode, seed
+):
+    reference = load_bundle(bundles["float32"])
+    quantized = load_bundle(bundles[mode])
+    rng = np.random.default_rng(seed)
+    dtype = default_dtype()
+    shape = (2, reference.input_length, reference.num_nodes,
+             reference.num_features)
+    raw = reference.scaler.inverse_transform(
+        rng.standard_normal(shape).astype(dtype)
+    )
+    m = _INJECTORS[pattern](rng, shape)
+    x = np.where(m > 0, raw, 0.0).astype(dtype)
+    steps_per_day = reference.data_config.steps_per_day
+    offsets = rng.integers(0, steps_per_day, size=shape[0])
+    steps = (
+        offsets[:, None] + np.arange(reference.input_length)[None, :]
+    ) % steps_per_day
+    pred_ref = _forecast(reference, x, m, steps)
+    pred_q = _forecast(quantized, x, m, steps)
+    denom = float(np.mean(np.abs(pred_ref)))
+    drift = float(np.mean(np.abs(pred_q - pred_ref))) / max(denom, 1e-12)
+    assert drift <= MAE_GATE
+
+
+# ----------------------------------------------------------------------
+# Format round-trip
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_int8_header_and_arrays(self, bundles):
+        with open(bundles["int8"] + ".json", encoding="utf-8") as handle:
+            header = json.load(handle)
+        quant = header["quantization"]
+        assert quant["mode"] == "int8"
+        assert quant["params"]
+        with np.load(bundles["int8"] + ".npz") as archive:
+            for pname in quant["params"]:
+                stored = archive["param/" + pname]
+                assert stored.dtype == np.int8
+                scale = archive["param_scale/" + pname]
+                assert scale.dtype == np.float32
+                assert scale.shape == stored.shape[-1:]
+                assert np.all(scale > 0)
+            # rank-1 params (biases) stay float
+            assert any(
+                archive[name].ndim == 1
+                and np.issubdtype(archive[name].dtype, np.floating)
+                for name in archive.files
+                if name.startswith("param/")
+            )
+
+    def test_loaded_params_are_policy_dtype(self, bundles):
+        for mode in QUANT_MODES:
+            bundle = load_bundle(bundles[mode])
+            dtypes = {
+                param.data.dtype for param in bundle.model.parameters()
+            }
+            assert dtypes == {np.dtype(default_dtype())}
+
+    def test_quantization_property_and_fingerprint(self, bundles):
+        reference = load_bundle(bundles["float32"])
+        assert reference.quantization is None
+        for mode in QUANT_MODES:
+            bundle = load_bundle(bundles[mode])
+            assert bundle.quantization == mode
+            assert bundle.fingerprint != reference.fingerprint
+
+    def test_int8_shrinks_the_artifact(self, bundles):
+        full = os.path.getsize(bundles["float32"] + ".npz")
+        small = os.path.getsize(bundles["int8"] + ".npz")
+        assert small < full
+
+    def test_drift_of_identity_is_zero(self, bundles):
+        assert quantization_mae_drift(bundles["float32"], bundles["float32"]) == 0.0
+
+    def test_reported_drift_within_gate(self, bundles):
+        for mode in QUANT_MODES:
+            drift = quantization_mae_drift(bundles["float32"], bundles[mode])
+            assert 0.0 <= drift <= MAE_GATE
+
+
+# ----------------------------------------------------------------------
+# Gate hygiene and error paths
+# ----------------------------------------------------------------------
+
+class TestErrors:
+    def test_gate_failure_removes_outputs(self, bundles, tmp_path):
+        out = str(tmp_path / "gated")
+        with pytest.raises(QuantizationError, match="gate"):
+            quantize_bundle(bundles["float32"], out, mode="int8", gate=0.0)
+        assert not os.path.exists(out + ".npz")
+        assert not os.path.exists(out + ".json")
+
+    def test_requantization_rejected(self, bundles, tmp_path):
+        with pytest.raises(QuantizationError, match="already quantized"):
+            quantize_bundle(bundles["int8"], str(tmp_path / "twice"))
+
+    def test_same_path_rejected(self, bundles):
+        with pytest.raises(QuantizationError, match="overwrite"):
+            quantize_bundle(bundles["float32"], bundles["float32"])
+
+    def test_unknown_mode_rejected(self, bundles, tmp_path):
+        with pytest.raises(QuantizationError, match="unknown"):
+            quantize_bundle(
+                bundles["float32"], str(tmp_path / "x"), mode="int4"
+            )
