@@ -11,12 +11,10 @@ Usage::
 
 from dataclasses import replace
 
-import numpy as np
-
-from repro.datasets import ZScoreScaler, make_pems_dataset, make_windows, mcar_mask
+from repro.datasets import ZScoreScaler, make_pattern, make_pems_dataset, make_windows
 from repro.graphs import PartitionConfig, build_heterogeneous_graphs
 from repro.models import rihgcn
-from repro.training import Trainer, TrainerConfig
+from repro.training import EpochLogger, Trainer, TrainerConfig
 
 
 def main() -> None:
@@ -29,8 +27,8 @@ def main() -> None:
           f"D={dataset.num_features}")
 
     # 2. Drop 40% of the historical values uniformly at random (Table I).
-    rng = np.random.default_rng(1)
-    corrupted = dataset.with_mask(mcar_mask(dataset.data.shape, 0.4, rng))
+    pattern = make_pattern("mcar", rate=0.4, seed=1)
+    corrupted = dataset.with_mask(pattern.mask(dataset.data.shape))
     print(f"injected missing rate: {corrupted.missing_rate:.1%}")
 
     # 3. Chronological 7:2:1 split, Z-score scaling fit on observed train.
@@ -71,8 +69,8 @@ def main() -> None:
 
     # 7. Train with the joint objective L = L_c + lambda * L_m.
     trainer = Trainer(model, TrainerConfig(max_epochs=10, patience=4,
-                                           imputation_weight=1.0, verbose=True))
-    trainer.fit(train_w, val_w)
+                                           imputation_weight=1.0))
+    trainer.fit(train_w, val_w, callbacks=[EpochLogger()])
 
     # 8. Evaluate the forecast in mph on the average-speed channel.
     mae, rmse = trainer.evaluate(test_w, scaler=scaler, target_feature=0)

@@ -20,25 +20,23 @@ import tempfile
 from dataclasses import replace
 from pathlib import Path
 
-import numpy as np
-
 from repro.datasets import (
     ZScoreScaler,
     load_csv_dataset,
+    make_pattern,
     make_pems_dataset,
     make_windows,
-    mcar_mask,
 )
 from repro.graphs import PartitionConfig, build_heterogeneous_graphs
 from repro.models import rihgcn
-from repro.training import Trainer, TrainerConfig
+from repro.training import EpochLogger, Trainer, TrainerConfig
 
 
 def export_csvs(directory: Path) -> tuple[Path, Path]:
     """Write simulator output in the community CSV format."""
     dataset = make_pems_dataset(num_nodes=8, num_days=5, seed=3)
     corrupted = dataset.with_mask(
-        mcar_mask(dataset.data.shape, 0.3, np.random.default_rng(4))
+        make_pattern("mcar", rate=0.3, seed=4).mask(dataset.data.shape)
     )
     readings_path = directory / "speeds.csv"
     with open(readings_path, "w", newline="") as handle:
@@ -94,8 +92,9 @@ def main() -> None:
             num_nodes=dataset.num_nodes, num_features=1,
             embed_dim=12, hidden_dim=24, seed=0,
         )
-        trainer = Trainer(model, TrainerConfig(max_epochs=6, verbose=True))
-        trainer.fit(make_windows(train, stride=3), make_windows(val, stride=3))
+        trainer = Trainer(model, TrainerConfig(max_epochs=6))
+        trainer.fit(make_windows(train, stride=3), make_windows(val, stride=3),
+                    callbacks=[EpochLogger()])
         mae, rmse = trainer.evaluate(make_windows(test, stride=3), scaler=scaler,
                                      target_feature=0)
         # Real data has no simulator truth: metrics cover observed targets.

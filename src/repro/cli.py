@@ -94,6 +94,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=[0.0001, 0.01, 1.0, 5.0, 20.0])
 
     p = sub.add_parser(
+        "gauntlet",
+        help="missing-pattern gauntlet: model x scenario x rate grid "
+             "(--smoke validates the committed BENCH record; see docs/MISSING.md)",
+    )
+    add_models_flag(p)
+    p.add_argument("--rates", type=float, nargs="+", default=None,
+                   help="target missing rates (default: 0.3 0.6)")
+    p.add_argument("--smoke", action="store_true",
+                   help="validate the committed record and gate regressions "
+                        "instead of running the full grid")
+    p.add_argument("--record", type=str,
+                   default="benchmarks/BENCH_missing_gauntlet.json",
+                   help="committed gauntlet record (for --smoke)")
+    p.add_argument("--emit", type=str, default=None,
+                   help="write the grid as a JSON record to this path")
+    p.add_argument("--report", type=str, default=None,
+                   help="write the smoke report JSON to this path")
+
+    p = sub.add_parser(
         "profile",
         help="train one model briefly; print op hotspots, write a JSONL run record",
     )
@@ -207,6 +226,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="share of forwards with NaN-poisoned output")
     p.add_argument("--drop-sensors", type=int, nargs="*", default=[],
                    help="sensor ids whose readings vanish in flight")
+    p.add_argument("--drop-scenario", type=str, default=None,
+                   help="named MissingPattern scenario JSON (inline string or "
+                        "a file path) driving the sensor drops — the same "
+                        "vocabulary as 'repro gauntlet' (see docs/MISSING.md); "
+                        "overrides --drop-sensors")
     p.add_argument("--availability-target", type=float, default=0.99,
                    help="minimum non-5xx share; below this exits non-zero")
     add_resilience_flags(p)
@@ -473,6 +497,50 @@ def main(argv: list[str] | None = None) -> int:
         )
         print()
         print(result.render())
+    elif args.command == "gauntlet":
+        import json
+        import platform
+        import time
+
+        from .experiments import run_gauntlet_smoke, run_missing_gauntlet
+
+        if args.smoke:
+            print(f"gauntlet smoke against {args.record}")
+            report = run_gauntlet_smoke(
+                args.record, data_config=data_cfg, model_config=model_cfg,
+                trainer_config=trainer_cfg, verbose=True,
+            )
+            if args.report:
+                with open(args.report, "w", encoding="utf-8") as handle:
+                    json.dump(report, handle, indent=2, default=str)
+                print(f"report written to {args.report}")
+            print(f"verdict: {'PASS' if report['passed'] else 'FAIL'}")
+            if not report["passed"]:
+                return 1
+        else:
+            result = run_missing_gauntlet(
+                models=models, rates=args.rates, data_config=data_cfg,
+                model_config=model_cfg, trainer_config=trainer_cfg,
+                verbose=True,
+            )
+            print()
+            print(result.render())
+            if args.emit:
+                record = {
+                    "bench": "missing_gauntlet",
+                    "scale": args.scale,
+                    "unix_time": time.time(),
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                }
+                record.update(result.to_payload())
+                out_dir = os.path.dirname(args.emit)
+                if out_dir:
+                    os.makedirs(out_dir, exist_ok=True)
+                with open(args.emit, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, indent=2)
+                    handle.write("\n")
+                print(f"record written to {args.emit}")
     elif args.command == "profile":
         from dataclasses import replace
 
@@ -648,13 +716,23 @@ def main(argv: list[str] | None = None) -> int:
 
         config = ServeConfig.from_args(args)
         bundle = load_bundle(args.bundle)
+        if args.drop_scenario:
+            import json
+
+            source = args.drop_scenario
+            if os.path.exists(source):
+                with open(source, encoding="utf-8") as handle:
+                    source = handle.read()
+            dropped = json.loads(source)
+        else:
+            dropped = tuple(args.drop_sensors)
         plan = FaultPlan(
             seed=args.chaos_seed,
             latency_rate=args.latency_rate,
             latency_s=args.latency_ms / 1e3,
             error_rate=args.error_rate,
             corrupt_rate=args.corrupt_rate,
-            dropped_sensors=tuple(args.drop_sensors),
+            dropped_sensors=dropped,
         )
         print(f"chaos soak of {bundle.model_name}: {args.clients} clients x "
               f"{args.requests} rounds, plan {plan.to_json_dict()}")

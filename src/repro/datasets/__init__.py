@@ -5,10 +5,23 @@ from .csv_loader import load_csv_dataset, load_distances_csv, load_readings_csv
 from .dataset import TrafficDataset
 from .loader import BatchLoader
 from .missing import (
+    PATTERNS,
+    BlackoutPattern,
+    BlockPattern,
+    CorridorOutagePattern,
+    MCARPattern,
+    MissingPattern,
+    MixedPattern,
+    MNARCongestionPattern,
+    SensorFailurePattern,
     block_mask,
     combine_masks,
     holdout_observed,
+    intersect_masks,
+    make_pattern,
     mcar_mask,
+    pattern_names,
+    register_pattern,
     sensor_failure_mask,
 )
 from .network import RoadNetwork, city_grid, highway_corridor
@@ -36,6 +49,19 @@ __all__ = [
     "PEMS_FEATURES",
     "StampedeConfig",
     "make_stampede_dataset",
+    "MissingPattern",
+    "PATTERNS",
+    "register_pattern",
+    "make_pattern",
+    "pattern_names",
+    "MCARPattern",
+    "SensorFailurePattern",
+    "BlockPattern",
+    "CorridorOutagePattern",
+    "BlackoutPattern",
+    "MNARCongestionPattern",
+    "MixedPattern",
+    "intersect_masks",
     "mcar_mask",
     "block_mask",
     "sensor_failure_mask",

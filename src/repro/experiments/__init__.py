@@ -4,6 +4,13 @@ from .config import DataConfig, ModelConfig, default_trainer_config, paper_scale
 from .context import ExperimentContext, prepare_context
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
+from .gauntlet import (
+    GauntletCell,
+    GauntletResult,
+    default_scenarios,
+    run_gauntlet_smoke,
+    run_missing_gauntlet,
+)
 from .imputation_study import (
     ImputationStudyResult,
     default_imputers,
@@ -62,6 +69,11 @@ __all__ = [
     "run_fig4",
     "Fig5Result",
     "run_fig5",
+    "GauntletCell",
+    "GauntletResult",
+    "default_scenarios",
+    "run_missing_gauntlet",
+    "run_gauntlet_smoke",
     "format_metric_table",
     "format_series",
     "ReplicateResult",

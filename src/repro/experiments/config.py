@@ -10,8 +10,9 @@ the results is what the reproduction targets (see DESIGN.md). Pass
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
+from ..datasets.missing import pattern_names
 from ..training import TrainerConfig
 
 __all__ = ["DataConfig", "ModelConfig", "default_trainer_config", "paper_scale"]
@@ -26,7 +27,10 @@ class DataConfig:
     num_days: int = 8
     steps_per_day: int = 288
     missing_rate: float | None = 0.4  # None = keep the natural mask
-    missing_kind: str = "mcar"  # "mcar" | "sensor" | "block"
+    missing_kind: str = "mcar"  # any registered pattern kind (see docs/MISSING.md)
+    #: extra pattern parameters forwarded to make_pattern (e.g.
+    #: corridor_size for "corridor", strength for "mnar_congestion").
+    missing_params: dict = field(default_factory=dict)
     input_length: int = 12
     output_length: int = 12
     stride: int = 2
@@ -41,8 +45,11 @@ class DataConfig:
             raise ValueError(f"unknown dataset {self.dataset!r}")
         if self.missing_rate is not None and not 0.0 <= self.missing_rate < 1.0:
             raise ValueError(f"missing_rate must be in [0, 1), got {self.missing_rate}")
-        if self.missing_kind not in ("mcar", "sensor", "block"):
-            raise ValueError(f"unknown missing_kind {self.missing_kind!r}")
+        if self.missing_kind not in pattern_names():
+            raise ValueError(
+                f"unknown missing_kind {self.missing_kind!r}; "
+                f"registered patterns: {pattern_names()}"
+            )
 
 
 @dataclass

@@ -16,13 +16,11 @@ from ..datasets import (
     TrafficDataset,
     WindowSet,
     ZScoreScaler,
-    block_mask,
     holdout_observed,
+    make_pattern,
     make_pems_dataset,
     make_stampede_dataset,
     make_windows,
-    mcar_mask,
-    sensor_failure_mask,
 )
 from ..graphs import (
     HeterogeneousGraphSet,
@@ -32,7 +30,7 @@ from ..graphs import (
 )
 from .config import DataConfig, ModelConfig
 
-__all__ = ["ExperimentContext", "prepare_context"]
+__all__ = ["ExperimentContext", "prepare_context", "corruption_pattern"]
 
 
 def _build_dataset(cfg: DataConfig) -> TrafficDataset:
@@ -52,21 +50,36 @@ def _build_dataset(cfg: DataConfig) -> TrafficDataset:
     )
 
 
+def corruption_pattern(cfg: DataConfig):
+    """The :class:`~repro.datasets.MissingPattern` a DataConfig describes.
+
+    Returns ``None`` when the config keeps the natural mask. The pattern
+    seed is ``cfg.seed + 1`` — the stream the pre-pattern pipeline used —
+    so existing experiment results are mask-for-mask reproducible.
+    """
+    params = dict(cfg.missing_params)
+    if cfg.missing_rate is None and not params:
+        return None
+    if cfg.missing_rate is not None and cfg.missing_kind != "mixed":
+        params.setdefault("rate", cfg.missing_rate)
+    return make_pattern(cfg.missing_kind, seed=cfg.seed + 1, **params)
+
+
 def _corrupt(dataset: TrafficDataset, cfg: DataConfig) -> TrafficDataset:
     """Apply the configured missingness on top of the natural mask."""
-    if cfg.missing_rate is None:
+    pattern = corruption_pattern(cfg)
+    if pattern is None:
         return dataset
+    # Legacy kinds join the historical rng stream (identical masks to the
+    # pre-pattern releases); structured kinds use the pattern's own seed
+    # and may need the sensor adjacency or the readings themselves.
     rng = np.random.default_rng(cfg.seed + 1)
-    if cfg.missing_kind == "mcar":
-        injected = mcar_mask(dataset.data.shape, cfg.missing_rate, rng)
-    elif cfg.missing_kind == "sensor":
-        injected = sensor_failure_mask(dataset.data.shape, cfg.missing_rate, rng)
-    else:  # block
-        total, nodes, _ = dataset.data.shape
-        # Pick a block count that lands near the requested overall rate.
-        mean_len = 18
-        num_blocks = int(cfg.missing_rate * total * nodes / mean_len)
-        injected = block_mask(dataset.data.shape, num_blocks, (6, 30), rng)
+    injected = pattern.mask(
+        dataset.data.shape,
+        adjacency=gaussian_kernel_adjacency(dataset.network.distances),
+        data=dataset.data,
+        rng=rng if cfg.missing_kind in ("mcar", "sensor", "block") else None,
+    )
     return dataset.with_mask(dataset.mask * injected)
 
 

@@ -20,6 +20,7 @@ from ..models import (
     GraphWaveNet,
     GRUDForecaster,
     HistoricalAverage,
+    MagiNetForecaster,
     SeasonalHistoricalAverage,
     NeuralForecaster,
     StatisticalForecaster,
@@ -118,6 +119,12 @@ NEURAL_MODELS: dict[str, Callable[[ExperimentContext], NeuralForecaster]] = {
         seed=ctx.model_config.seed,
         **_dims(ctx),
     ),
+    "MagiNet": lambda ctx: MagiNetForecaster(
+        embed_dim=ctx.model_config.embed_dim,
+        hidden_dim=ctx.model_config.hidden_dim,
+        seed=ctx.model_config.seed,
+        **_dims(ctx),
+    ),
     "RIHGCN": lambda ctx: rihgcn(
         graphs=ctx.graphs(), **_dims(ctx), **_imputation_common(ctx)
     ),
@@ -141,6 +148,7 @@ ALL_MODEL_NAMES: list[str] = [
     "STGCN",
     "DCRNN",
     "GRU-D",
+    "MagiNet",
     "FC-LSTM-I",
     "FC-GCN-I",
     "GCN-LSTM-I",

@@ -10,19 +10,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DataError
+
 __all__ = ["Imputer", "check_inputs"]
 
 
 def check_inputs(data: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Validate and coerce (data, mask) to float64 ``(T, N, D)``."""
+    """Validate and coerce (data, mask) to float64 ``(T, N, D)``.
+
+    Raises :class:`~repro.errors.DataError` on malformed inputs.
+    """
     data = np.asarray(data, dtype=np.float64)
     mask = np.asarray(mask, dtype=np.float64)
     if data.ndim != 3:
-        raise ValueError(f"data must be (T, N, D), got shape {data.shape}")
+        raise DataError(f"data must be (T, N, D), got shape {data.shape}")
     if mask.shape != data.shape:
-        raise ValueError(f"mask shape {mask.shape} != data shape {data.shape}")
+        raise DataError(f"mask shape {mask.shape} != data shape {data.shape}")
     if ((mask != 0) & (mask != 1)).any():
-        raise ValueError("mask must be binary")
+        raise DataError("mask must be binary")
     return data, mask
 
 

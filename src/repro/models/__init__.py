@@ -7,6 +7,7 @@ from .graph_wavenet import GraphWaveNet
 from .grud import GRUDForecaster, compute_deltas, forward_fill_last
 from .hgcn import GCNEncoder, HGCNBlock, LinearEncoder, SpatialEncoder
 from .historical_average import HistoricalAverage, SeasonalHistoricalAverage
+from .maginet import MagiNetForecaster
 from .recurrent_imputation import (
     RecurrentImputationForecaster,
     build_spatial_encoder,
@@ -42,6 +43,7 @@ __all__ = [
     "DiffusionConv",
     "random_walk_supports",
     "GRUDForecaster",
+    "MagiNetForecaster",
     "compute_deltas",
     "forward_fill_last",
     "HistoricalAverage",

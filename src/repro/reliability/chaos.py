@@ -20,10 +20,11 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
 
 import numpy as np
 
+from ..datasets.missing import MissingPattern
 from ..errors import ConfigError, InjectedFault
 
 __all__ = ["FaultPlan", "FaultInjector", "ChaosModel", "ChaosStore"]
@@ -37,6 +38,14 @@ class FaultPlan:
     and ``corrupt_rate`` apply per model forward. ``dropped_sensors``
     lose every reading; ``clock_skew_steps`` shifts observation
     timestamps (positive = readings claim to be from the future).
+
+    ``dropped_sensors`` accepts either a plain tuple of sensor ids or a
+    named :class:`~repro.datasets.MissingPattern` scenario (the object or
+    its ``to_json_dict`` form) — the same vocabulary offline evaluation
+    and the gauntlet bench use, so a chaos run is reproducible by
+    scenario name + seed. Pattern-valued drops resolve to concrete
+    sensor ids against the store's node count via
+    :meth:`FaultInjector.resolve_dropped`.
     """
 
     seed: int = 0
@@ -45,7 +54,7 @@ class FaultPlan:
     error_rate: float = 0.0
     corrupt_rate: float = 0.0
     clock_skew_steps: int = 0
-    dropped_sensors: tuple[int, ...] = ()
+    dropped_sensors: tuple[int, ...] | MissingPattern = ()
 
     def __post_init__(self):
         for name in ("latency_rate", "error_rate", "corrupt_rate"):
@@ -54,9 +63,26 @@ class FaultPlan:
                 raise ConfigError(f"{name} must be in [0, 1], got {value}")
         if self.latency_s < 0:
             raise ConfigError(f"latency_s must be >= 0, got {self.latency_s}")
-        object.__setattr__(
-            self, "dropped_sensors", tuple(int(n) for n in self.dropped_sensors)
-        )
+        dropped = self.dropped_sensors
+        if isinstance(dropped, MissingPattern):
+            pass  # already the shared vocabulary
+        elif isinstance(dropped, dict):
+            dropped = MissingPattern.from_json_dict(dropped)
+        else:
+            dropped = tuple(int(n) for n in dropped)
+        object.__setattr__(self, "dropped_sensors", dropped)
+
+    @property
+    def drop_pattern(self) -> MissingPattern | None:
+        """The sensor-drop scenario, when one is configured."""
+        dropped = self.dropped_sensors
+        return dropped if isinstance(dropped, MissingPattern) else None
+
+    @property
+    def scenario(self) -> dict | None:
+        """Scenario JSON of the sensor-drop pattern (None for plain ids)."""
+        pattern = self.drop_pattern
+        return pattern.to_json_dict() if pattern is not None else None
 
     @property
     def active(self) -> bool:
@@ -69,8 +95,12 @@ class FaultPlan:
         )
 
     def to_json_dict(self) -> dict:
-        payload = asdict(self)
-        payload["dropped_sensors"] = list(self.dropped_sensors)
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        pattern = self.drop_pattern
+        payload["dropped_sensors"] = (
+            pattern.to_json_dict() if pattern is not None
+            else list(self.dropped_sensors)
+        )
         return payload
 
     @classmethod
@@ -92,6 +122,13 @@ class FaultInjector:
         self.plan = plan
         self._rng = random.Random(plan.seed)
         self._lock = threading.Lock()
+        # Plain-id plans resolve immediately; pattern plans wait for the
+        # node count (resolve_dropped, called by ChaosStore on wrap).
+        self._dropped: frozenset[int] | None = (
+            None
+            if plan.drop_pattern is not None
+            else frozenset(plan.dropped_sensors)
+        )
         self.counts = {
             "latency": 0,
             "errors": 0,
@@ -99,6 +136,28 @@ class FaultInjector:
             "dropped_observations": 0,
             "skewed_observations": 0,
         }
+
+    def resolve_dropped(
+        self,
+        num_nodes: int,
+        adjacency: np.ndarray | None = None,
+    ) -> tuple[int, ...]:
+        """Concrete dropped sensor ids for a network of ``num_nodes``.
+
+        For pattern-valued plans this runs the scenario's own
+        :meth:`~repro.datasets.MissingPattern.dropped_nodes` — the exact
+        node-selection code offline masks use — and caches the result.
+        Ids outside ``[0, num_nodes)`` are filtered.
+        """
+        with self._lock:
+            if self._dropped is None:
+                pattern = self.plan.drop_pattern
+                self._dropped = frozenset(
+                    pattern.dropped_nodes(num_nodes, adjacency=adjacency)
+                )
+            return tuple(
+                sorted(n for n in self._dropped if 0 <= n < int(num_nodes))
+            )
 
     def _count(self, key: str) -> None:
         self.counts[key] += 1  # caller holds the lock
@@ -122,7 +181,9 @@ class FaultInjector:
         return latency, error, corrupt
 
     def observation_dropped(self, node: int) -> bool:
-        if node in self.plan.dropped_sensors:
+        # Unresolved pattern plans drop nothing yet: the node count is
+        # unknown until a store is wrapped (ChaosStore resolves eagerly).
+        if self._dropped is not None and node in self._dropped:
             with self._lock:
                 self._count("dropped_observations")
             return True
@@ -191,20 +252,19 @@ class ChaosModel:
 class ChaosStore:
     """A state store whose feed loses, delays and skews readings."""
 
-    def __init__(self, store, injector: FaultInjector):
+    def __init__(self, store, injector: FaultInjector, adjacency=None):
         self._store = store
         self._injector = injector
+        # Resolve pattern-valued drops against this store's network now,
+        # so per-sensor drops fire from the first observation.
+        self._dropped = injector.resolve_dropped(store.num_nodes, adjacency)
 
     def __getattr__(self, name):
         return getattr(self._store, name)
 
     def observe(self, step, values, mask=None):
         step = self._injector.skew(int(step))
-        dropped = [
-            n
-            for n in self._injector.plan.dropped_sensors
-            if 0 <= n < self._store.num_nodes
-        ]
+        dropped = list(self._dropped)
         if dropped:
             values = np.array(values, copy=True)
             if mask is None:

@@ -225,6 +225,10 @@ class SoakReport:
     fault_plan: dict = field(default_factory=dict)
     injected: dict = field(default_factory=dict)
     fallback: dict = field(default_factory=dict)
+    #: sensor-drop scenario JSON ({"pattern", "name", "seed", "params"})
+    #: when the plan used a named MissingPattern — the same scenario the
+    #: offline gauntlet consumes, so a soak reproduces by name + seed.
+    scenario: dict | None = None
 
     def to_json_dict(self) -> dict:
         return asdict(self)
@@ -242,6 +246,11 @@ class SoakReport:
             f"  injected faults    {json.dumps(self.injected, sort_keys=True)}",
             f"  fallback rungs     {json.dumps(self.fallback, sort_keys=True)}",
         ]
+        if self.scenario:
+            lines.append(
+                f"  drop scenario      {self.scenario.get('name')} "
+                f"({self.scenario.get('pattern')}, seed {self.scenario.get('seed')})"
+            )
         return "\n".join(lines)
 
 
@@ -392,6 +401,7 @@ def run_chaos_soak(
         fault_plan=(
             injector.plan.to_json_dict() if injector is not None else {}
         ),
+        scenario=injector.plan.scenario if injector is not None else None,
         injected=injector.snapshot() if injector is not None else {},
         fallback={
             "stale": count('serve/fallback{rung="stale"}'),

@@ -7,81 +7,76 @@ from hypothesis import given, settings, strategies as st
 from repro.datasets import (
     BatchLoader,
     ZScoreScaler,
-    block_mask,
-    combine_masks,
     holdout_observed,
+    intersect_masks,
+    make_pattern,
     make_pems_dataset,
     make_windows,
-    mcar_mask,
-    sensor_failure_mask,
 )
+from repro.errors import ConfigError
 
 
 class TestMcarMask:
     def test_rate_approximate(self):
         rng = np.random.default_rng(0)
-        mask = mcar_mask((100, 20, 4), 0.4, rng)
+        mask = make_pattern("mcar", rate=0.4).mask((100, 20, 4), rng=rng)
         assert 1.0 - mask.mean() == pytest.approx(0.4, abs=0.02)
 
     def test_binary(self):
         rng = np.random.default_rng(0)
-        mask = mcar_mask((50, 5, 2), 0.5, rng)
+        mask = make_pattern("mcar", rate=0.5).mask((50, 5, 2), rng=rng)
         assert set(np.unique(mask)).issubset({0.0, 1.0})
 
     def test_zero_rate_all_observed(self):
-        rng = np.random.default_rng(0)
-        assert mcar_mask((10, 2, 1), 0.0, rng).all()
+        assert make_pattern("mcar", rate=0.0).mask((10, 2, 1)).all()
 
     def test_invalid_rate(self):
-        rng = np.random.default_rng(0)
-        with pytest.raises(ValueError):
-            mcar_mask((5,), 1.0, rng)
+        with pytest.raises(ConfigError):
+            make_pattern("mcar", rate=1.0)
 
     @settings(max_examples=20, deadline=None)
     @given(st.floats(min_value=0.0, max_value=0.95))
     def test_property_rate_tracks_parameter(self, rate):
         rng = np.random.default_rng(42)
-        mask = mcar_mask((200, 10, 2), rate, rng)
+        mask = make_pattern("mcar", rate=rate).mask((200, 10, 2), rng=rng)
         assert 1.0 - mask.mean() == pytest.approx(rate, abs=0.05)
 
 
 class TestStructuredMasks:
     def test_block_mask_contiguity(self):
-        rng = np.random.default_rng(0)
-        mask = block_mask((100, 4, 2), num_blocks=3, block_length=(5, 10), rng=rng)
-        # Each zeroed node-column is a union of contiguous runs >= 5 long?
+        mask = make_pattern(
+            "block", num_blocks=3, block_length=(5, 10)
+        ).mask((100, 4, 2))
         # At minimum: blocks zero all features of a node simultaneously.
         missing = mask == 0
         assert (missing[:, :, 0] == missing[:, :, 1]).all()
 
     def test_block_mask_validates_lengths(self):
-        rng = np.random.default_rng(0)
-        with pytest.raises(ValueError):
-            block_mask((10, 2, 1), 1, (5, 3), rng)
+        with pytest.raises(ConfigError):
+            make_pattern("block", num_blocks=1, block_length=(5, 3))
 
     def test_sensor_failure_whole_rows(self):
-        rng = np.random.default_rng(0)
-        mask = sensor_failure_mask((200, 6, 4), 0.3, rng)
+        mask = make_pattern("sensor", rate=0.3).mask((200, 6, 4))
         missing = mask == 0
         # All features drop together.
         for d in range(1, 4):
             assert (missing[:, :, 0] == missing[:, :, d]).all()
         assert 1.0 - mask.mean() == pytest.approx(0.3, abs=0.03)
 
-    def test_combine_masks_intersection(self):
+    def test_intersect_masks(self):
         a = np.array([1.0, 1.0, 0.0])
         b = np.array([1.0, 0.0, 0.0])
-        assert np.allclose(combine_masks(a, b), [1.0, 0.0, 0.0])
+        assert np.allclose(intersect_masks(a, b), [1.0, 0.0, 0.0])
 
-    def test_combine_requires_input(self):
-        with pytest.raises(ValueError):
-            combine_masks()
+    def test_intersect_requires_input(self):
+        with pytest.raises(ConfigError):
+            intersect_masks()
 
 
 class TestHoldout:
     def test_partition_of_observed(self):
         rng = np.random.default_rng(0)
-        mask = mcar_mask((100, 5, 2), 0.4, np.random.default_rng(1))
+        mask = make_pattern("mcar", rate=0.4, seed=1).mask((100, 5, 2))
         reduced, holdout = holdout_observed(mask, 0.3, rng)
         # Holdout entries were observed and are now hidden.
         assert ((holdout == 1) <= (mask == 1)).all()
@@ -128,7 +123,7 @@ class TestZScoreScaler:
 
     def test_transform_keeps_missing_zero(self):
         data = np.random.default_rng(0).normal(5, 2, size=(50, 3, 1))
-        mask = mcar_mask(data.shape, 0.5, np.random.default_rng(1))
+        mask = make_pattern("mcar", rate=0.5, seed=1).mask(data.shape)
         scaler = ZScoreScaler().fit(data * mask, mask)
         out = scaler.transform(data * mask, mask)
         assert (out[mask == 0] == 0).all()

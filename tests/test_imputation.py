@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets import mcar_mask
+from repro.datasets import make_pattern
+from repro.errors import DataError
 from repro.imputation import (
     KNNImputer,
     LastObservedImputer,
@@ -36,7 +37,7 @@ def small_case():
         [base + i for i in range(nodes)], axis=1
     )[:, :, None].repeat(features, axis=2)
     data += rng.normal(0, 0.1, size=data.shape)
-    mask = mcar_mask(data.shape, 0.3, rng)
+    mask = make_pattern("mcar", rate=0.3).mask(data.shape, rng=rng)
     return data, mask
 
 
@@ -65,11 +66,11 @@ class TestContract:
         assert err < zero_err
 
     def test_check_inputs_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             check_inputs(np.zeros((3, 3)), np.zeros((3, 3)))
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             check_inputs(np.zeros((3, 3, 1)), np.zeros((3, 3, 2)))
-        with pytest.raises(ValueError):
+        with pytest.raises(DataError):
             check_inputs(np.zeros((3, 3, 1)), np.full((3, 3, 1), 0.5))
 
 
@@ -169,7 +170,7 @@ class TestMatrixFactorization:
         u = rng.normal(size=(40, 2))
         v = rng.normal(size=(8, 2))
         data = (u @ v.T)[:, :, None]
-        mask = mcar_mask(data.shape, 0.3, rng)
+        mask = make_pattern("mcar", rate=0.3).mask(data.shape, rng=rng)
         imputer = MatrixFactorizationImputer(rank=2, reg=0.01, iterations=30)
         filled = imputer(data * mask, mask)
         holdout = 1.0 - mask
@@ -196,7 +197,7 @@ class TestTensorDecomposition:
         slot_profile = np.sin(2 * np.pi * np.arange(spd) / spd) * 5 + 10
         data = np.tile(slot_profile, days)[:, None, None].repeat(nodes, axis=1)
         rng = np.random.default_rng(0)
-        mask = mcar_mask(data.shape, 0.4, rng)
+        mask = make_pattern("mcar", rate=0.4).mask(data.shape, rng=rng)
         imputer = TensorDecompositionImputer(rank=2, steps_per_day=spd,
                                              iterations=25, reg=0.01)
         filled = imputer(data * mask, mask)
@@ -206,7 +207,7 @@ class TestTensorDecomposition:
     def test_partial_final_day(self):
         """T not divisible by steps_per_day must still work (padding)."""
         data = np.random.default_rng(0).normal(10, 1, size=(30, 2, 1))
-        mask = mcar_mask(data.shape, 0.3, np.random.default_rng(1))
+        mask = make_pattern("mcar", rate=0.3).mask(data.shape, rng=np.random.default_rng(1))
         imputer = TensorDecompositionImputer(rank=2, steps_per_day=24, iterations=5)
         filled = imputer(data * mask, mask)
         assert filled.shape == data.shape
@@ -222,7 +223,7 @@ class TestTensorDecomposition:
 def test_property_simple_imputers_respect_contract(rate):
     rng = np.random.default_rng(3)
     data = rng.normal(20, 5, size=(40, 4, 2))
-    mask = mcar_mask(data.shape, rate, rng)
+    mask = make_pattern("mcar", rate=rate).mask(data.shape, rng=rng)
     for imputer in (MeanImputer(), LastObservedImputer(),
                     LinearInterpolationImputer()):
         filled = imputer(data * mask, mask)

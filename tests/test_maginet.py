@@ -1,0 +1,129 @@
+"""Tests for the MagiNet mask-conditioned imputation baseline."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_MODEL_NAMES, build_model, run_model
+from repro.models import MagiNetForecaster
+from repro.nn import JointLoss
+from repro.training import Trainer, TrainerConfig
+
+
+def _model(**overrides):
+    kwargs = dict(input_length=6, output_length=4, num_nodes=3,
+                  num_features=2, embed_dim=6, hidden_dim=8, seed=0)
+    kwargs.update(overrides)
+    return MagiNetForecaster(**kwargs)
+
+
+def _batch(batch=2, length=6, nodes=3, features=2, missing=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, length, nodes, features))
+    m = (rng.random(x.shape) >= missing).astype(float)
+    return x * m, m, np.zeros((batch, length))
+
+
+class TestForward:
+    def test_output_shapes(self):
+        x, m, steps = _batch()
+        out = _model()(x, m, steps)
+        assert out.prediction.shape == (2, 4, 3, 2)
+        assert out.estimates_fwd.shape == x.shape
+        assert out.estimates_bwd.shape == x.shape
+        # Per-step validity weights, the ForecastOutput (T_in,) contract.
+        assert out.estimate_validity.shape == (6,)
+
+    def test_flags_for_joint_loss(self):
+        model = _model()
+        # Both directions present => JointLoss applies the imputation term.
+        assert model.uses_mask
+        assert model.produces_estimates
+        x, m, steps = _batch()
+        out = model(x, m, steps)
+        y = np.random.default_rng(3).normal(size=(2, 4, 3, 2))
+        args = (out.prediction, y, np.ones_like(y))
+        joint = JointLoss(imputation_weight=1.0)(
+            *args, estimates_fwd=out.estimates_fwd,
+            estimates_bwd=out.estimates_bwd, history=x, history_mask=m,
+        )
+        prediction_only = JointLoss(imputation_weight=1.0)(*args)
+        assert np.isfinite(float(joint.data))
+        # Estimates from both directions feed the imputation term.
+        assert float(joint.data) > float(prediction_only.data)
+
+    def test_mask_changes_output(self):
+        model = _model()
+        x, _m, steps = _batch(missing=0.0)
+        full = np.ones_like(x)
+        sparse = full.copy()
+        sparse[:, 2:5] = 0.0
+        a = model(x, full, steps).prediction.data
+        b = model(x * sparse, sparse, steps).prediction.data
+        assert not np.allclose(a, b)
+
+    def test_all_parameters_trainable(self):
+        model = _model()
+        x, m, steps = _batch()
+        model(x, m, steps).prediction.sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_validity_zero_at_boundaries(self):
+        x, m, steps = _batch()
+        out = _model()(x, m, steps)
+        validity = np.asarray(out.estimate_validity)
+        # Forward direction has no estimate for t=0, backward none for t=T-1,
+        # so joint validity vanishes at both ends and holds in between.
+        assert validity[0] == 0.0
+        assert validity[-1] == 0.0
+        assert np.allclose(validity[1:-1], 1.0)
+
+
+class TestImpute:
+    def test_observed_entries_pass_through(self):
+        model = _model()
+        x, m, steps = _batch()
+        filled = model.impute(x, m, steps)
+        assert filled.shape == x.shape
+        assert np.allclose(filled[m == 1], x[m == 1])
+        assert np.isfinite(filled).all()
+
+    def test_trains_and_imputation_improves(self):
+        from repro.datasets import make_pems_dataset, make_pattern, make_windows
+
+        ds = make_pems_dataset(num_nodes=3, num_days=2, steps_per_day=96, seed=0)
+        ds = replace(ds, data=ds.data[:, :, :2], mask=ds.mask[:, :, :2],
+                     truth=ds.truth[:, :, :2], feature_names=ds.feature_names[:2])
+        ds = ds.with_mask(make_pattern("mcar", rate=0.4, seed=1).mask(ds.data.shape))
+        windows = make_windows(ds, 6, 4, stride=6)
+        history = Trainer(
+            _model(),
+            TrainerConfig(max_epochs=3, batch_size=16, imputation_weight=1.0),
+        ).fit(windows, None)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "MagiNet" in ALL_MODEL_NAMES
+
+    def test_builds_and_runs(self, tiny_ctx):
+        model = build_model("MagiNet", tiny_ctx)
+        assert isinstance(model, MagiNetForecaster)
+        result = run_model(
+            "MagiNet", tiny_ctx, TrainerConfig(max_epochs=1, batch_size=16),
+            horizons=[tiny_ctx.data_config.output_length],
+        )
+        pair = result.metric_at(tiny_ctx.data_config.output_length)
+        assert np.isfinite([pair.mae, pair.rmse]).all()
+        assert result.num_parameters > 0
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        model = _model()
+        x = np.zeros((2, 5, 3, 2))
+        with pytest.raises(ValueError):
+            model(x, np.ones_like(x), np.zeros((2, 5)))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.datasets import make_pattern
 from repro.errors import ConfigError, InjectedFault
 from repro.experiments import build_model
 from repro.reliability import (
@@ -77,6 +78,67 @@ class TestFaultPlan:
         assert stream_a == stream_b
         different = FaultPlan(seed=4, latency_rate=0.3, error_rate=0.2).injector()
         assert [different.forward_decision() for _ in range(50)] != stream_a
+
+
+class TestPatternDrops:
+    """FaultPlan.dropped_sensors accepts a named MissingPattern scenario."""
+
+    SCENARIO = {
+        "pattern": "sensor", "name": "flaky-loop", "seed": 5,
+        "params": {"rate": 0.4},
+    }
+
+    def test_plan_accepts_pattern_object(self):
+        pattern = make_pattern("sensor", rate=0.4, seed=5, name="flaky-loop")
+        plan = FaultPlan(dropped_sensors=pattern)
+        assert plan.drop_pattern is pattern
+        assert plan.scenario == pattern.to_json_dict()
+        assert plan.active
+
+    def test_plan_accepts_scenario_dict_and_round_trips(self):
+        plan = FaultPlan(dropped_sensors=dict(self.SCENARIO))
+        assert plan.drop_pattern == make_pattern(
+            "sensor", rate=0.4, seed=5, name="flaky-loop"
+        )
+        assert FaultPlan.from_dict(plan.to_json_dict()) == plan
+
+    def test_tuple_plans_keep_working(self):
+        plan = FaultPlan(dropped_sensors=[2, 0])
+        assert plan.dropped_sensors == (2, 0)
+        assert plan.drop_pattern is None
+        assert plan.scenario is None
+        assert plan.to_json_dict()["dropped_sensors"] == [2, 0]
+
+    def _corridor(self):
+        # A steady corridor outage: the drop-scenario kind chaos consumes.
+        return make_pattern(
+            "corridor", rate=0.3, corridor_size=2, seed=7, name="i405"
+        )
+
+    def test_resolve_matches_pattern_dropped_nodes(self):
+        plan = FaultPlan(dropped_sensors=self._corridor().to_json_dict())
+        resolved = plan.injector().resolve_dropped(6)
+        assert resolved == plan.drop_pattern.dropped_nodes(6)
+        assert resolved  # the corridor silences someone
+
+    def test_unresolved_pattern_drops_nothing(self):
+        injector = FaultPlan(dropped_sensors=dict(self.SCENARIO)).injector()
+        assert not injector.observation_dropped(0)
+        assert injector.counts["dropped_observations"] == 0
+
+    def test_chaos_store_resolves_pattern_on_wrap(self):
+        store = StateStore(num_nodes=6, num_features=1, input_length=4)
+        injector = FaultPlan(
+            dropped_sensors=self._corridor().to_json_dict()
+        ).injector()
+        chaos = ChaosStore(store, injector)
+        dead = injector.resolve_dropped(6)
+        assert dead
+        for node in range(6):
+            landed = chaos.observe_sensor(0, node, [5.0])
+            # Dropped sensors report success but never land.
+            assert landed or node not in dead
+        assert store.observations == 6 - len(dead)
 
 
 class TestChaosWrappers:
@@ -155,6 +217,18 @@ class TestChaosSoak:
         assert report.requests == 3 * 15 * 2
         assert report.injected["errors"] > 0  # the faults actually fired
         assert "chaos soak" in report.render()
+
+    def test_soak_report_carries_scenario(self, bundle):
+        scenario = make_pattern(
+            "sensor", rate=0.4, seed=2, name="flaky-loop"
+        ).to_json_dict()
+        plan = FaultPlan(seed=0, dropped_sensors=scenario)
+        app, injector = make_chaos_app(bundle, plan)
+        report = run_chaos_soak(
+            app, num_clients=1, requests_per_client=3, injector=injector
+        )
+        assert report.scenario == scenario
+        assert "flaky-loop" in report.render()
 
     def test_soak_without_fallback_shows_errors(self, bundle):
         """Control experiment: same faults, resilience off — failures
